@@ -1,0 +1,209 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper (at Full scale) and micro-benchmarks the simulator core with
+   Bechamel.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table2     # one experiment
+     dune exec bench/main.exe micro      # microbenchmarks only
+
+   A second argument "quick" switches the experiments to the fast
+   smoke-scale used by tests. *)
+
+module E = Ksurf.Experiments
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Format.printf "@.[%s took %.1fs]@.@." name (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Experiment harnesses: one per table/figure.                         *)
+
+let table1 ~seed:_ ~scale:_ ~corpus:_ =
+  Format.printf "%a@." E.Table1.pp (E.Table1.run ())
+
+let table2 ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Table2.pp (E.Table2.run ~seed ~scale ~corpus ())
+
+let fig2 ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Fig2.pp (E.Fig2.run ~seed ~scale ~corpus ())
+
+let table3 ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Table3.pp (E.Table3.run ~seed ~scale ~corpus ())
+
+let fig3 ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Fig3.pp (E.Fig3.run ~seed ~scale ~corpus ())
+
+let fig4 ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Fig4.pp (E.Fig4.run ~seed ~scale ~corpus ())
+
+let ablate ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Ablate.pp (E.Ablate.run ~seed ~scale ~corpus ())
+
+let locks ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Locks.pp (E.Locks.run ~seed ~scale ~corpus ())
+
+let lwvm ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Lwvm.pp (E.Lwvm.run ~seed ~scale ~corpus ())
+
+let ablate_virt ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Ablate_virt.pp
+    (E.Ablate_virt.run ~seed ~scale ~corpus ())
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig2", fig2);
+    ("table3", table3);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("ablate", ablate);
+    ("ablate-virt", ablate_virt);
+    ("lwvm", lwvm);
+    ("locks", locks);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the simulator core.                     *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Ksurf in
+  let prng_test =
+    Test.make ~name:"prng-uniform"
+      (Staged.stage
+         (let rng = Prng.create 1 in
+          fun () -> ignore (Prng.uniform rng)))
+  in
+  let heap_test =
+    Test.make ~name:"heap-push-pop-64"
+      (Staged.stage (fun () ->
+           let h = Ksurf_sim.Heap.create () in
+           for i = 0 to 63 do
+             Ksurf_sim.Heap.push h ~time:(float_of_int (i * 37 mod 64)) ~seq:i i
+           done;
+           while not (Ksurf_sim.Heap.is_empty h) do
+             ignore (Ksurf_sim.Heap.pop h)
+           done))
+  in
+  let engine_test =
+    Test.make ~name:"engine-spawn-run-100-events"
+      (Staged.stage (fun () ->
+           let engine = Engine.create ~seed:1 () in
+           Engine.spawn engine (fun () ->
+               for _ = 1 to 100 do
+                 Engine.delay 10.0
+               done);
+           Engine.run engine))
+  in
+  let lock_test =
+    Test.make ~name:"contended-lock-8-procs"
+      (Staged.stage (fun () ->
+           let engine = Engine.create ~seed:1 () in
+           let lock = Lock.create ~engine ~name:"bench" in
+           for _ = 1 to 8 do
+             Engine.spawn engine (fun () ->
+                 for _ = 1 to 16 do
+                   Lock.with_hold lock 5.0
+                 done)
+           done;
+           Engine.run engine))
+  in
+  let syscall_test =
+    let spec = Option.get (Syscalls.by_name "open") in
+    let rng = Prng.create 2 in
+    Test.make ~name:"syscall-exec-open"
+      (Staged.stage (fun () ->
+           let engine = Engine.create ~seed:1 () in
+           let kernel =
+             Instance.boot ~engine ~config:Kernel_config.quiet ~id:0 ~cores:4
+               ~mem_mb:1024 ()
+           in
+           let arg = Arg.generate spec.Spec.arg_model rng in
+           let ctx = { Instance.core = 0; tenant = 0; key = 0; cgroup = None } in
+           Engine.spawn engine (fun () ->
+               Instance.exec_program kernel ctx (spec.Spec.ops arg));
+           Engine.run engine))
+  in
+  let kde_test =
+    let rng = Prng.create 3 in
+    let samples = Array.init 256 (fun _ -> Prng.float rng 1000.0) in
+    Test.make ~name:"kde-curve-256"
+      (Staged.stage (fun () -> ignore (Kde.curve ~points:32 samples)))
+  in
+  let coverage_test =
+    let rng = Prng.create 4 in
+    let prog = Program.random rng ~id:0 ~min_len:8 ~max_len:8 in
+    Test.make ~name:"coverage-of-program-8"
+      (Staged.stage (fun () -> ignore (Coverage.of_program prog)))
+  in
+  let quantile_test =
+    let rng = Prng.create 5 in
+    let samples = Array.init 4096 (fun _ -> Prng.float rng 1e6) in
+    Test.make ~name:"quantile-p99-4096"
+      (Staged.stage (fun () -> ignore (Quantile.p99 samples)))
+  in
+  [
+    prng_test;
+    heap_test;
+    engine_test;
+    lock_test;
+    syscall_test;
+    kde_test;
+    coverage_test;
+    quantile_test;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.printf "Microbenchmarks (Bechamel, OLS ns/run):@.@.";
+  let test = Test.make_grouped ~name:"ksurf" (micro_tests ()) in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (estimate :: _) -> rows := (name, estimate) :: !rows
+      | Some [] | None -> rows := (name, nan) :: !rows)
+    results;
+  List.iter
+    (fun (name, estimate) ->
+      Format.printf "  %-40s %12.1f ns/run@." name estimate)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale =
+    if List.mem "quick" args then E.Quick
+    else if List.mem "full" args then E.Full
+    else E.Full
+  in
+  let selected = List.filter (fun a -> a <> "quick" && a <> "full") args in
+  let seed = 42 in
+  let wants name =
+    selected = [] || List.mem name selected || List.mem "all" selected
+  in
+  let any_experiment = List.exists (fun (name, _) -> wants name) experiments in
+  if any_experiment then begin
+    let corpus =
+      timed "corpus generation" (fun () -> E.default_corpus ~seed scale)
+    in
+    List.iter
+      (fun (name, run) ->
+        if wants name then timed name (fun () -> run ~seed ~scale ~corpus))
+      experiments
+  end;
+  if wants "micro" then timed "micro" run_micro

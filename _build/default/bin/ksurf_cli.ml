@@ -1,0 +1,255 @@
+(* ksurf command-line interface: generate corpora and regenerate any of
+   the paper's tables and figures from the terminal. *)
+
+open Cmdliner
+module E = Ksurf.Experiments
+
+let setup_logs level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+let seed_arg =
+  let doc = "Seed for every pseudo-random stream (runs are reproducible)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc = "Experiment scale: $(b,quick) (seconds) or $(b,full) (minutes)." in
+  let scale_conv =
+    Arg.conv
+      ( (fun s ->
+          match E.scale_of_string s with
+          | Some v -> Ok v
+          | None -> Error (`Msg (Printf.sprintf "unknown scale %S" s))),
+        fun ppf s ->
+          Format.pp_print_string ppf
+            (match s with E.Quick -> "quick" | E.Full -> "full") )
+  in
+  Arg.(value & opt scale_conv E.Quick & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Logs.info (fun m -> m "%s finished in %.1fs" name (Unix.gettimeofday () -. t0));
+  result
+
+(* --- corpus ---------------------------------------------------------- *)
+
+let gen_corpus seed scale calls output () =
+  let corpus =
+    match calls with
+    | None -> E.default_corpus ~seed scale
+    | Some target_calls ->
+        (Ksurf.Generator.run
+           ~params:
+             {
+               Ksurf.Generator.default_params with
+               Ksurf.Generator.seed;
+               target_calls = Some target_calls;
+             }
+           ())
+          .Ksurf.Generator.corpus
+  in
+  Format.printf "%a@." Ksurf.Corpus.pp_stats corpus;
+  match output with
+  | None -> ()
+  | Some path ->
+      Ksurf.Corpus.save corpus path;
+      Format.printf "corpus written to %s@." path
+
+let gen_corpus_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the corpus to $(docv).")
+  in
+  let calls =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "calls" ] ~docv:"N"
+          ~doc:
+            "Paper-scale mode: grow the corpus to at least $(docv) call \
+             sites after coverage saturates (the paper used 27408).")
+  in
+  Cmd.v
+    (Cmd.info "gen-corpus" ~doc:"Generate a coverage-guided syscall corpus")
+    Term.(const gen_corpus $ seed_arg $ scale_arg $ calls $ output $ logs_term)
+
+(* Replay an arbitrary corpus on an arbitrary deployment. *)
+let run_corpus seed file env_name units iterations () =
+  match Ksurf.Corpus.load file with
+  | Error e ->
+      Format.eprintf "cannot load %s: %s@." file e;
+      exit 1
+  | Ok corpus -> (
+      let kind =
+        match env_name with
+        | "native" -> Some Ksurf.Env.Native
+        | "kvm" -> Some (Ksurf.Env.Kvm Ksurf.Virt_config.default)
+        | "firecracker" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.firecracker)
+        | "kata" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.kata)
+        | "nabla" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.nabla)
+        | "gvisor" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.gvisor)
+        | "docker" -> Some Ksurf.Env.Docker
+        | _ -> None
+      in
+      match kind with
+      | None ->
+          Format.eprintf
+            "unknown environment %S (native|kvm|firecracker|kata|nabla|gvisor|docker)@."
+            env_name;
+          exit 1
+      | Some kind ->
+          let engine = Ksurf.Engine.create ~seed () in
+          let env =
+            Ksurf.Env.deploy ~engine kind (Ksurf.Partition.table1 units)
+          in
+          let params =
+            { Ksurf.Harness.iterations; warmup_iterations = max 1 (iterations / 10) }
+          in
+          let result = Ksurf.Harness.run ~env ~corpus ~params () in
+          let stats = Ksurf.Study.site_stats result in
+          Format.printf
+            "corpus %s on %s x%d: %d sites, %d invocations, %s of virtual time@.@."
+            file env_name units (Array.length stats)
+            (Ksurf.Harness.total_invocations result)
+            (Ksurf.Report.duration_ns result.Ksurf.Harness.wall_time_ns);
+          Format.printf "stat   %s@." Ksurf.Buckets.header;
+          List.iter
+            (fun (name, stat) ->
+              Format.printf "%-6s %a@." name Ksurf.Buckets.pp
+                (Ksurf.Study.bucket_row stat stats))
+            [ ("median", Ksurf.Study.Median); ("p99", Ksurf.Study.P99);
+              ("max", Ksurf.Study.Max) ])
+
+let run_corpus_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CORPUS" ~doc:"Corpus file from gen-corpus.")
+  in
+  let env_name =
+    Arg.(
+      value & opt string "native"
+      & info [ "env" ] ~docv:"ENV"
+          ~doc:"native | kvm | firecracker | kata | nabla | gvisor | docker")
+  in
+  let units =
+    Arg.(
+      value & opt int 1
+      & info [ "units" ] ~docv:"N"
+          ~doc:"Isolation units (a Table-1 row: 1,2,4,8,16,32,64).")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 10
+      & info [ "iterations" ] ~docv:"N" ~doc:"Measured corpus repetitions.")
+  in
+  Cmd.v
+    (Cmd.info "run-corpus"
+       ~doc:"Replay a corpus file on a chosen deployment and print its \
+             latency breakdown")
+    Term.(
+      const run_corpus $ seed_arg $ file $ env_name $ units $ iterations
+      $ logs_term)
+
+(* --- experiments ------------------------------------------------------ *)
+
+let experiment_cmd name ~doc run =
+  let go seed scale () = timed name (fun () -> run ~seed ~scale) in
+  Cmd.v (Cmd.info name ~doc) Term.(const go $ seed_arg $ scale_arg $ logs_term)
+
+let table1_cmd =
+  let go () () = Format.printf "%a@." E.Table1.pp (E.Table1.run ()) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the VM configuration sweep (Table 1)")
+    Term.(const go $ const () $ logs_term)
+
+let table2_cmd =
+  experiment_cmd "table2" ~doc:"Syscall latency breakdown (Table 2)"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Table2.pp (E.Table2.run ~seed ~scale ()))
+
+let fig2_cmd =
+  experiment_cmd "fig2" ~doc:"Per-subsystem p99 vs VM count (Figure 2)"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Fig2.pp (E.Fig2.run ~seed ~scale ()))
+
+let table3_cmd =
+  experiment_cmd "table3" ~doc:"Container worst-case breakdown (Table 3)"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Table3.pp (E.Table3.run ~seed ~scale ()))
+
+let fig3_cmd =
+  experiment_cmd "fig3" ~doc:"Single-node tail latency (Figure 3)"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Fig3.pp (E.Fig3.run ~seed ~scale ()))
+
+let fig4_cmd =
+  experiment_cmd "fig4" ~doc:"64-node BSP runtimes (Figure 4)"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Fig4.pp (E.Fig4.run ~seed ~scale ()))
+
+let ablate_cmd =
+  experiment_cmd "ablate" ~doc:"E7: variability-mechanism knockouts"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Ablate.pp (E.Ablate.run ~seed ~scale ()))
+
+let ablate_virt_cmd =
+  experiment_cmd "ablate-virt" ~doc:"E8: exit-cost sensitivity sweep"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Ablate_virt.pp (E.Ablate_virt.run ~seed ~scale ()))
+
+let lwvm_cmd =
+  experiment_cmd "lwvm" ~doc:"E9: lightweight-VM technology comparison"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Lwvm.pp (E.Lwvm.run ~seed ~scale ()))
+
+let locks_cmd =
+  experiment_cmd "locks" ~doc:"E10: per-lock contention attribution"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Locks.pp (E.Locks.run ~seed ~scale ()))
+
+let all_cmd =
+  experiment_cmd "all" ~doc:"Run every experiment in sequence"
+    (fun ~seed ~scale ->
+      let corpus = E.default_corpus ~seed scale in
+      Format.printf "%a@.@." E.Table1.pp (E.Table1.run ());
+      Format.printf "%a@.@." E.Table2.pp (E.Table2.run ~seed ~scale ~corpus ());
+      Format.printf "%a@.@." E.Fig2.pp (E.Fig2.run ~seed ~scale ~corpus ());
+      Format.printf "%a@.@." E.Table3.pp (E.Table3.run ~seed ~scale ~corpus ());
+      Format.printf "%a@.@." E.Fig3.pp (E.Fig3.run ~seed ~scale ~corpus ());
+      Format.printf "%a@.@." E.Fig4.pp (E.Fig4.run ~seed ~scale ~corpus ());
+      Format.printf "%a@.@." E.Ablate.pp (E.Ablate.run ~seed ~scale ~corpus ());
+      Format.printf "%a@.@." E.Ablate_virt.pp
+        (E.Ablate_virt.run ~seed ~scale ~corpus ());
+      Format.printf "%a@." E.Lwvm.pp (E.Lwvm.run ~seed ~scale ~corpus ()))
+
+let main_cmd =
+  let doc =
+    "reproduce 'Reducing Kernel Surface Areas for Isolation and \
+     Scalability' (ICPP'19) on a simulated multicore machine"
+  in
+  Cmd.group (Cmd.info "ksurf" ~version:"1.0.0" ~doc)
+    [
+      gen_corpus_cmd;
+      run_corpus_cmd;
+      table1_cmd;
+      table2_cmd;
+      fig2_cmd;
+      table3_cmd;
+      fig3_cmd;
+      fig4_cmd;
+      ablate_cmd;
+      ablate_virt_cmd;
+      lwvm_cmd;
+      locks_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/bsp_scale.ml: Apps Cluster Env Experiments Format Ksurf List Option Report Virt_config

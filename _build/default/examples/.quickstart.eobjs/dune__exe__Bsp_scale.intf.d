@@ -1,0 +1,1 @@
+examples/bsp_scale.mli:

@@ -1,0 +1,1 @@
+examples/corpus_tour.ml: Array Corpus Filename Format Generator Ksurf Program Sys

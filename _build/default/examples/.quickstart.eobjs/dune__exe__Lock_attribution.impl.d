@@ -1,0 +1,1 @@
+examples/lock_attribution.ml: Experiments Export Filename Format Ksurf List Report String

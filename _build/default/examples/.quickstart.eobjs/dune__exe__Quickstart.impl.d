@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arg Array Engine Format Hashtbl Instance Kernel Kernel_config Ksurf List Option Printf Prng Quantile Report Spec Syscalls

@@ -1,0 +1,1 @@
+examples/surface_sweep.ml: Array Category Corpus Engine Env Experiments Format Harness Ksurf List Partition Quantile Report Study Virt_config

@@ -1,0 +1,1 @@
+examples/surface_sweep.mli:

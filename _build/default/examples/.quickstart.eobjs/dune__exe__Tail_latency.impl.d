@@ -1,0 +1,1 @@
+examples/tail_latency.ml: Apps Env Experiments Format Ksurf Option Report Runner Virt_config

@@ -1,0 +1,37 @@
+(* Corpus tour: generate a coverage-guided system-call corpus (the
+   Syzkaller-substitute workload), inspect it, and round-trip it through
+   the textual serialisation.
+
+     dune exec examples/corpus_tour.exe *)
+
+open Ksurf
+
+let () =
+  let report = Generator.run ~params:Generator.default_params () in
+  let corpus = report.Generator.corpus in
+  Format.printf "generation: %d candidate programs evaluated, %d admitted@."
+    report.Generator.rounds report.Generator.admitted;
+  Format.printf "coverage: %d blocks = %.1f%% of the reachable block universe@.@."
+    report.Generator.coverage_blocks
+    (100.0 *. report.Generator.coverage_fraction);
+  Format.printf "%a@.@." Corpus.pp_stats corpus;
+
+  (* Every program covers blocks no other program covers — that's the
+     generator's admission rule.  Look at one. *)
+  let programs = Corpus.programs corpus in
+  let prog = programs.(Array.length programs / 2) in
+  Format.printf "a corpus program (id %d, %d calls):@.%s@.@." prog.Program.id
+    (Program.length prog) (Program.to_string prog);
+
+  (* Round-trip through the on-disk format. *)
+  let path = Filename.temp_file "ksurf-corpus" ".txt" in
+  Corpus.save corpus path;
+  (match Corpus.load path with
+  | Ok corpus' ->
+      Format.printf "round-trip through %s: %d programs, %d calls — %s@." path
+        (Corpus.program_count corpus')
+        (Corpus.total_calls corpus')
+        (if Corpus.total_calls corpus' = Corpus.total_calls corpus then "intact"
+         else "MISMATCH")
+  | Error e -> Format.printf "reload failed: %s@." e);
+  Sys.remove path

@@ -1,0 +1,66 @@
+(* Quickstart: boot a simulated kernel, issue some system calls from a
+   few concurrent processes, and look at what contention does to them.
+
+     dune exec examples/quickstart.exe *)
+
+open Ksurf
+
+let () =
+  (* A deterministic simulation engine: all randomness flows from the
+     seed, so this program prints the same thing every run. *)
+  let engine = Engine.create ~seed:7 () in
+
+  (* Boot a kernel instance managing 8 cores and 4 GB — its "surface
+     area".  Background housekeeping daemons start automatically. *)
+  let kernel = Kernel.boot ~engine ~id:0 ~cores:8 ~mem_mb:4096 () in
+  Instance.set_tenants kernel 8;
+
+  (* Each simulated process issues the same little sequence of calls and
+     records the latency of each.  Contention on shared kernel state
+     (dentry cache, zone lock, journal) emerges from concurrency. *)
+  let sequence = [ "open"; "read"; "munmap"; "chmod"; "close" ] in
+  let latencies = Hashtbl.create 16 in
+  for core = 0 to 7 do
+    Engine.spawn engine (fun () ->
+        let rng = Prng.split (Engine.rng engine) (Printf.sprintf "p%d" core) in
+        for _ = 1 to 200 do
+          List.iter
+            (fun name ->
+              let spec = Option.get (Syscalls.by_name name) in
+              let arg = Arg.generate spec.Spec.arg_model rng in
+              let ctx =
+                { Instance.core; tenant = core; key = arg.Arg.obj; cgroup = None }
+              in
+              let t0 = Engine.now engine in
+              Instance.burn kernel
+                (Instance.config kernel).Kernel_config.syscall_entry_cost;
+              Instance.exec_program kernel ctx (spec.Spec.ops arg);
+              let dt = Engine.now engine -. t0 in
+              let samples =
+                match Hashtbl.find_opt latencies name with
+                | Some s -> s
+                | None ->
+                    let s = ref [] in
+                    Hashtbl.add latencies name s;
+                    s
+              in
+              samples := dt :: !samples)
+            sequence
+        done)
+  done;
+  Engine.run engine ~until:10e9;
+
+  Format.printf "8 processes x 200 iterations on an 8-core kernel instance:@.@.";
+  Format.printf "%-8s %10s %10s %10s@." "syscall" "median" "p99" "max";
+  List.iter
+    (fun name ->
+      let samples = Array.of_list !(Hashtbl.find latencies name) in
+      let s = Quantile.summarize samples in
+      Format.printf "%-8s %10s %10s %10s@." name
+        (Report.duration_ns s.Quantile.median)
+        (Report.duration_ns s.Quantile.p99)
+        (Report.duration_ns s.Quantile.max))
+    sequence;
+  Format.printf
+    "@.Note the gap between median and max: that's shared-kernel \
+     interference, the paper's subject.@."

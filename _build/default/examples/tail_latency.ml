@@ -1,0 +1,43 @@
+(* Tail latency: one cell of the paper's Figure 3 story.
+
+   Run the sphinx speech-recognition service next to a kernel-hammering
+   noise workload, once under Docker (shared kernel) and once under KVM
+   (private guest kernel), and compare the 99th-percentile request
+   latency.
+
+     dune exec examples/tail_latency.exe *)
+
+open Ksurf
+
+let () =
+  let app = Option.get (Apps.by_name "sphinx") in
+  Format.printf "app: %s — %s@.@." app.Apps.name app.Apps.doc;
+  let corpus = Experiments.default_corpus Experiments.Full in
+  let config = { Runner.default_config with Runner.requests = 2500 } in
+  let cell kind contended =
+    let r =
+      Runner.run_single_node ~app ~kind ~contended ~config ~noise_corpus:corpus ()
+    in
+    (r.Runner.p99, r.Runner.mean)
+  in
+  let show name (p99, mean) =
+    Format.printf "  %-22s p99 %-10s mean %s@." name (Report.duration_ns p99)
+      (Report.duration_ns mean)
+  in
+  let kvm = Env.Kvm Virt_config.default in
+  Format.printf "isolated (the whole machine to itself):@.";
+  let kvm_iso = cell kvm false in
+  let dkr_iso = cell Env.Docker false in
+  show "kvm" kvm_iso;
+  show "docker" dkr_iso;
+  Format.printf
+    "@.with a 48-core system-call noise workload in the other units:@.";
+  let kvm_cont = cell kvm true in
+  let dkr_cont = cell Env.Docker true in
+  show "kvm" kvm_cont;
+  show "docker" dkr_cont;
+  let pct (after, _) (before, _) = 100.0 *. (after -. before) /. before in
+  Format.printf
+    "@.Docker p99 degraded %.0f%%, KVM %.0f%% — the noise shares Docker's \
+     kernel but not KVM's guest kernel.@."
+    (pct dkr_cont dkr_iso) (pct kvm_cont kvm_iso)

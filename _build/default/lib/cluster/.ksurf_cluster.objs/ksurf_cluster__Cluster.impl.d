@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Float Ksurf_env Ksurf_sim Ksurf_stats Ksurf_syzgen Ksurf_tailbench Ksurf_util Ksurf_varbench Ksurf_virt List Printf

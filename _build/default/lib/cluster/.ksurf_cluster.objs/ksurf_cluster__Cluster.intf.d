@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Ksurf_env Ksurf_syzgen Ksurf_tailbench

@@ -1,0 +1,199 @@
+module Engine = Ksurf_sim.Engine
+module Env = Ksurf_env.Env
+module Machine = Ksurf_env.Machine
+module Partition = Ksurf_env.Partition
+module Mailbox = Ksurf_sim.Mailbox
+module Prng = Ksurf_util.Prng
+module Quantile = Ksurf_stats.Quantile
+module Noise = Ksurf_varbench.Noise
+module Apps = Ksurf_tailbench.Apps
+module Service = Ksurf_tailbench.Service
+
+type config = {
+  nodes_total : int;
+  nodes_simulated : int;
+  iterations : int;
+  sim_iterations_per_node : int;
+  warmup_iterations : int;
+  requests_per_iteration : int;
+  util_target : float;
+  units : int;
+  unit_cores : int;
+  unit_mem_mb : int;
+  machine : Machine.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    nodes_total = 64;
+    nodes_simulated = 3;
+    iterations = 50;
+    sim_iterations_per_node = 50;
+    warmup_iterations = 2;
+    requests_per_iteration = 25;
+    util_target = 0.65;
+    units = 4;
+    unit_cores = 12;
+    unit_mem_mb = 16384;
+    machine = Machine.haswell_node;
+    seed = 42;
+  }
+
+type result = {
+  app_name : string;
+  kind : string;
+  contended : bool;
+  runtime_ns : float;
+  node_mean_iter_ns : float;
+  node_p99_iter_ns : float;
+  straggler_factor : float;
+  iteration_samples : int;
+}
+
+(* Fully simulate one node: the app in unit 0, noise in units 1-3 when
+   contended, iteration = a fixed burst of requests followed by a local
+   quiescent point.  Returns per-iteration durations (warm-up dropped). *)
+let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed =
+  let compiled = Service.compile app in
+  let engine = Engine.create ~seed:node_seed () in
+  let partition =
+    Partition.equal_split ~units:config.units
+      ~total_cores:(config.units * config.unit_cores)
+      ~total_mem_mb:(config.units * config.unit_mem_mb)
+  in
+  let env = Env.deploy ~engine ~machine:config.machine kind partition in
+  let workers = List.init config.unit_cores (fun i -> i) in
+  if contended then begin
+    let noise_ranks =
+      List.init
+        (Env.rank_count env - config.unit_cores)
+        (fun i -> config.unit_cores + i)
+    in
+    Noise.start ~env ~corpus:noise_corpus ~ranks:noise_ranks ()
+  end;
+  let mean_service = Service.estimate_native_service compiled in
+  let rate =
+    config.util_target *. float_of_int config.unit_cores /. mean_service
+  in
+  let mailbox = Mailbox.create ~engine ~name:(app.Apps.name ^ ".reqs") in
+  let completed_in_iter = ref 0 in
+  let iteration_waiter : (unit -> unit) option ref = ref None in
+  List.iter
+    (fun rank ->
+      let rng =
+        Prng.split (Engine.rng engine) (Printf.sprintf "worker-%d" rank)
+      in
+      Engine.spawn engine (fun () ->
+          let rec serve () =
+            let _arrival : float = Mailbox.recv mailbox in
+            let hw_dilation =
+              if not contended then 1.0
+              else
+                match kind with
+                | Env.Kvm _ -> 1.005 +. Prng.float rng 0.01
+                | Env.Native | Env.Docker -> 1.01 +. Prng.float rng 0.03
+            in
+            Service.handle compiled ~env ~rank ~rng ~hw_dilation ();
+            incr completed_in_iter;
+            (if !completed_in_iter >= config.requests_per_iteration then
+               match !iteration_waiter with
+               | Some wake ->
+                   iteration_waiter := None;
+                   wake ()
+               | None -> ());
+            serve ()
+          in
+          serve ()))
+    workers;
+  let durations = ref [] in
+  let total_iters = config.warmup_iterations + config.sim_iterations_per_node in
+  let finished = ref false in
+  let client_rng = Prng.split (Engine.rng engine) "client" in
+  Engine.spawn engine (fun () ->
+      for iter = 0 to total_iters - 1 do
+        let start = Engine.now engine in
+        completed_in_iter := 0;
+        for _ = 1 to config.requests_per_iteration do
+          let gap = -.Float.log (1.0 -. Prng.uniform client_rng) /. rate in
+          Engine.delay gap;
+          Mailbox.send mailbox (Engine.now engine)
+        done;
+        (* Wait until the whole burst has been served. *)
+        if !completed_in_iter < config.requests_per_iteration then
+          Engine.suspend (fun wake -> iteration_waiter := Some wake);
+        if iter >= config.warmup_iterations then
+          durations := (Engine.now engine -. start) :: !durations
+      done;
+      finished := true);
+  Engine.run ~stop:(fun () -> !finished) engine;
+  Array.of_list (List.rev !durations)
+
+let run ~app ~kind ~contended ?(config = default_config) ?noise_corpus () =
+  if config.nodes_simulated < 1 then invalid_arg "Cluster.run: need >= 1 node";
+  let noise_corpus =
+    match noise_corpus with
+    | Some c -> c
+    | None ->
+        if contended then
+          (Ksurf_syzgen.Generator.run ()).Ksurf_syzgen.Generator.corpus
+        else
+          (* Unused, but keep the type simple: a minimal corpus. *)
+          (Ksurf_syzgen.Generator.run
+             ~params:
+               {
+                 Ksurf_syzgen.Generator.default_params with
+                 Ksurf_syzgen.Generator.target_programs = 1;
+               }
+             ())
+            .Ksurf_syzgen.Generator.corpus
+  in
+  let pool =
+    Array.concat
+      (List.init config.nodes_simulated (fun node ->
+           simulate_node ~app ~kind ~contended ~config ~noise_corpus
+             ~node_seed:(config.seed + (node * 7919))))
+  in
+  if Array.length pool = 0 then failwith "Cluster.run: no iteration samples";
+  (* Synthesise the BSP runtime: nodes are independent given the
+     barrier, so each global iteration lasts as long as the slowest of
+     [nodes_total] draws from the empirical iteration distribution.  We
+     use the exact expectation of that maximum under the empirical CDF,
+     E[max] = sum_k x_(k) * [ (k/n)^N - ((k-1)/n)^N ], rather than a
+     Monte-Carlo resample: the estimate is then deterministic in the
+     pool, so iso-vs-contended comparisons are free of resampling
+     noise. *)
+  let barrier_cost =
+    let per_party =
+      match kind with
+      | Env.Kvm virt -> 1_500.0 +. virt.Ksurf_virt.Virt_config.virtio_net_per_msg
+      | Env.Native | Env.Docker -> 1_800.0
+    in
+    per_party *. Float.ceil (Float.log (float_of_int config.nodes_total) /. Float.log 2.0)
+  in
+  let mean arr = Array.fold_left ( +. ) 0.0 arr /. float_of_int (Array.length arr) in
+  let sorted = Quantile.sorted_copy pool in
+  let n = float_of_int (Array.length sorted) in
+  let power frac = Float.pow frac (float_of_int config.nodes_total) in
+  let expected_max = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let k = float_of_int (i + 1) in
+      expected_max := !expected_max +. (x *. (power (k /. n) -. power ((k -. 1.0) /. n))))
+    sorted;
+  let runtime_ns =
+    float_of_int config.iterations *. (!expected_max +. barrier_cost)
+  in
+  {
+    app_name = app.Apps.name;
+    kind = Env.kind_name kind;
+    contended;
+    runtime_ns;
+    node_mean_iter_ns = mean pool;
+    node_p99_iter_ns = Quantile.p99 pool;
+    straggler_factor = !expected_max /. mean pool;
+    iteration_samples = Array.length pool;
+  }
+
+let relative_loss ~isolated ~contended =
+  100.0 *. (contended.runtime_ns -. isolated.runtime_ns) /. isolated.runtime_ns

@@ -1,0 +1,62 @@
+(** The 64-node BSP experiment (§6.3 / Figure 4).
+
+    The paper's harness deploys each tailbench client/server pair on
+    every node of a 64-node Chameleon partition; each node issues only
+    local requests, runs a fixed number of requests per iteration, and
+    global barrier synchronisation joins the nodes between iterations —
+    the timing structure of a bulk-synchronous-parallel application.
+
+    Because no inter-node traffic is on the critical path, nodes are
+    statistically independent given the barrier.  We exploit that: a
+    small number of nodes are simulated in full (kernel model, noise
+    co-runners and all), their per-iteration durations pooled, and the
+    64-node runtime synthesised as the sum over iterations of the
+    maximum of 64 draws from the pooled empirical distribution plus the
+    barrier cost — the exact order statistic the paper's straggler
+    effect rests on.  This is the documented substitution for physical
+    nodes (DESIGN.md). *)
+
+type config = {
+  nodes_total : int;  (** 64 in the paper *)
+  nodes_simulated : int;  (** fully simulated nodes feeding the pool *)
+  iterations : int;  (** barrier-synchronised iterations (paper: 50) *)
+  sim_iterations_per_node : int;  (** iteration samples gathered per node *)
+  warmup_iterations : int;  (** leading samples discarded per node *)
+  requests_per_iteration : int;
+  util_target : float;
+  units : int;
+  unit_cores : int;
+  unit_mem_mb : int;
+  machine : Ksurf_env.Machine.t;
+  seed : int;
+}
+
+val default_config : config
+(** 64 nodes (3 simulated), 50 iterations from 50 samples/node (2
+    warm-up), 25 requests/iteration, 4 x 12-core units on a Chameleon
+    Haswell node. *)
+
+type result = {
+  app_name : string;
+  kind : string;
+  contended : bool;
+  runtime_ns : float;  (** synthesised 64-node runtime, Figure 4(a)/(b) *)
+  node_mean_iter_ns : float;  (** mean single-node iteration *)
+  node_p99_iter_ns : float;
+  straggler_factor : float;
+      (** mean(max over nodes) / mean(single node): BSP amplification *)
+  iteration_samples : int;
+}
+
+val run :
+  app:Ksurf_tailbench.Apps.t ->
+  kind:Ksurf_env.Env.kind ->
+  contended:bool ->
+  ?config:config ->
+  ?noise_corpus:Ksurf_syzgen.Corpus.t ->
+  unit ->
+  result
+(** One cell of Figure 4.  Deterministic for a given seed. *)
+
+val relative_loss : isolated:result -> contended:result -> float
+(** Figure 4(c): percent runtime increase from isolated to contended. *)

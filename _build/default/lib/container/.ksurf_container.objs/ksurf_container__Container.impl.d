@@ -1,0 +1,1 @@
+lib/container/container.ml: Ksurf_kernel

@@ -1,0 +1,1 @@
+lib/container/container.mli: Ksurf_kernel

@@ -1,0 +1,32 @@
+(** Docker-style OS containers.
+
+    Containers are namespaces plus control groups over the {e shared}
+    host kernel: the kernel surface area their workload sees is the full
+    machine, which is the paper's central contrast with VMs.  Each
+    container contributes a cgroup whose accounting traffic (and the
+    host-wide stats flusher it feeds) grows with the container count —
+    the mechanism behind Table 3's worst-case degradation. *)
+
+type shape = { cpus : int; mem_limit_mb : int }
+
+type t
+
+val launch :
+  host:Ksurf_kernel.Instance.t -> id:int -> shape -> t
+(** Create a container on the host kernel: registers its cgroup and
+    namespace set.  [cpus] is the size of its pinned cpuset. *)
+
+val id : t -> int
+val shape : t -> shape
+val cgroup : t -> int
+val host : t -> Ksurf_kernel.Instance.t
+
+val namespace_cost : float
+(** Per-syscall namespace translation cost (ns): pid/mnt/net indirection
+    on entry. *)
+
+val exec_syscall :
+  t -> core:int -> tenant:int -> key:int -> Ksurf_kernel.Ops.op list -> unit
+(** Run an op program on the shared host kernel from inside the
+    container: entry cost + namespace cost, cgroup context set so charge
+    ops are live.  [core] is the pinned physical CPU. *)

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Format Ksurf_cluster Ksurf_env Ksurf_kernel Ksurf_stats Ksurf_syzgen Ksurf_tailbench

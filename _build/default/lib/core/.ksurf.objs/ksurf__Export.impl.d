@@ -1,0 +1,1 @@
+lib/core/export.ml: Experiments Filename Ksurf_cluster Ksurf_kernel Ksurf_report Ksurf_stats Ksurf_tailbench List Option Printf

@@ -1,0 +1,647 @@
+module Engine = Ksurf_sim.Engine
+module Env = Ksurf_env.Env
+module Partition = Ksurf_env.Partition
+module Harness = Ksurf_varbench.Harness
+module Study = Ksurf_varbench.Study
+module Buckets = Ksurf_stats.Buckets
+module Violin = Ksurf_stats.Violin
+module Category = Ksurf_kernel.Category
+module Corpus = Ksurf_syzgen.Corpus
+module Generator = Ksurf_syzgen.Generator
+module Apps = Ksurf_tailbench.Apps
+module Runner = Ksurf_tailbench.Runner
+module Cluster = Ksurf_cluster.Cluster
+module Report = Ksurf_report.Report
+
+type scale = Quick | Full
+
+let scale_of_string = function
+  | "quick" -> Some Quick
+  | "full" -> Some Full
+  | _ -> None
+
+let generator_params ~seed = function
+  | Quick ->
+      { Generator.default_params with Generator.seed; target_programs = 24 }
+  | Full -> { Generator.default_params with Generator.seed }
+
+let default_corpus ?(seed = 42) scale =
+  (Generator.run ~params:(generator_params ~seed scale) ()).Generator.corpus
+
+let harness_params = function
+  | Quick -> { Harness.iterations = 8; warmup_iterations = 1 }
+  | Full -> { Harness.iterations = 50; warmup_iterations = 2 }
+
+let kvm_kind = Env.Kvm Ksurf_virt.Virt_config.default
+
+let run_varbench ?kernel_config ~seed ~scale ~corpus kind partition =
+  let engine = Engine.create ~seed () in
+  let env = Env.deploy ~engine ?kernel_config kind partition in
+  Harness.run ~env ~corpus ~params:(harness_params scale) ()
+
+(* ------------------------------------------------------------------ *)
+
+module Table1 = struct
+  type t = (int * Partition.t) list
+
+  let run () = List.map (fun n -> (n, Partition.table1 n)) Partition.table1_rows
+
+  let pp ppf t =
+    let rows =
+      List.map
+        (fun (n, p) ->
+          match p.Partition.units with
+          | u :: _ ->
+              [
+                string_of_int n;
+                string_of_int u.Partition.cores;
+                Printf.sprintf "%.1f" (float_of_int u.Partition.mem_mb /. 1024.0);
+              ]
+          | [] -> [ string_of_int n; "-"; "-" ])
+        t
+    in
+    Report.table ~header:[ "# VMs"; "Cores/VM"; "GB RAM/VM" ] ~rows ppf
+end
+
+module Table2 = struct
+  type row = {
+    env : string;
+    median : Buckets.row;
+    p99 : Buckets.row;
+    max : Buckets.row;
+  }
+
+  type t = { rows : row list; corpus_calls : int; invocations_per_env : int }
+
+  let envs = [ ("native", Env.Native, 1); ("kvm-64", kvm_kind, 64); ("docker-64", Env.Docker, 64) ]
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let invocations = ref 0 in
+    let rows =
+      List.map
+        (fun (name, kind, units) ->
+          let result =
+            run_varbench ~seed ~scale ~corpus kind (Partition.table1 units)
+          in
+          invocations := Harness.total_invocations result;
+          let stats = Study.site_stats result in
+          {
+            env = name;
+            median = Study.bucket_row Study.Median stats;
+            p99 = Study.bucket_row Study.P99 stats;
+            max = Study.bucket_row Study.Max stats;
+          })
+        envs
+    in
+    { rows; corpus_calls = Corpus.total_calls corpus; invocations_per_env = !invocations }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "Table 2: cumulative %% of system calls with statistic below each \
+       latency (corpus: %d call sites, %d invocations/environment)@.@."
+      t.corpus_calls t.invocations_per_env;
+    let cell row = Format.asprintf "%a" Buckets.pp row in
+    let rows =
+      List.concat_map
+        (fun r ->
+          [
+            [ r.env; "median"; cell r.median ];
+            [ ""; "p99"; cell r.p99 ];
+            [ ""; "max"; cell r.max ];
+          ])
+        t.rows
+    in
+    Report.table ~header:[ "environment"; "stat"; Buckets.header ] ~rows ppf
+end
+
+module Fig2 = struct
+  type cell = { vms : int; category : Category.t; violin : Violin.t option }
+
+  type t = { cells : cell list; filtered_sites : int; total_sites : int }
+
+  let vm_counts = Partition.table1_rows
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?kernel_config () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let stats_of kind units =
+      Study.site_stats
+        (run_varbench ?kernel_config ~seed ~scale ~corpus kind
+           (Partition.table1 units))
+    in
+    (* The paper filters to call sites whose native median is >= 10 us. *)
+    let native = stats_of Env.Native 1 in
+    let cells =
+      List.concat_map
+        (fun vms ->
+          let stats = stats_of kvm_kind vms in
+          let filtered =
+            Study.filter_by_native_median ~native ~min_median:10_000.0 stats
+          in
+          List.map
+            (fun category ->
+              {
+                vms;
+                category;
+                violin =
+                  Study.category_violin ~label:(Printf.sprintf "%dvm" vms)
+                    category filtered;
+              })
+            Category.all)
+        vm_counts
+    in
+    let filtered_sites =
+      Array.length
+        (Study.filter_by_native_median ~native ~min_median:10_000.0 native)
+    in
+    { cells; filtered_sites; total_sites = Array.length native }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "Figure 2: per-category 99th-percentile distributions across VM \
+       counts (%d of %d call sites pass the 10us native-median filter)@.@."
+      t.filtered_sites t.total_sites;
+    List.iter
+      (fun category ->
+        let violins =
+          List.filter_map
+            (fun c ->
+              if Category.equal c.category category then
+                Option.map (fun v -> (c.vms, v)) c.violin
+              else None)
+            t.cells
+        in
+        if violins <> [] then begin
+          Format.fprintf ppf "(%c) %s@."
+            (Char.chr (Char.code 'a' + Category.index category))
+            (Category.to_string category);
+          Format.fprintf ppf "  %s@." Violin.header;
+          List.iter
+            (fun (_, v) -> Format.fprintf ppf "  %a@." Violin.pp_row v)
+            violins;
+          Format.fprintf ppf "%s@."
+            (Violin.render_ascii (List.map snd violins))
+        end)
+      Category.all
+end
+
+module Table3 = struct
+  type row = { containers : int; max : Buckets.row }
+
+  type t = { rows : row list }
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let rows =
+      List.map
+        (fun containers ->
+          let stats =
+            Study.site_stats
+              (run_varbench ~seed ~scale ~corpus Env.Docker
+                 (Partition.table1 containers))
+          in
+          { containers; max = Study.bucket_row Study.Max stats })
+        Partition.table1_rows
+    in
+    { rows }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "Table 3: worst-case (max) breakdown across container counts@.@.";
+    let rows =
+      List.map
+        (fun r ->
+          [ string_of_int r.containers; Format.asprintf "%a" Buckets.pp r.max ])
+        t.rows
+    in
+    Report.table ~header:[ "# ctnrs"; Buckets.header ] ~rows ppf
+end
+
+module Fig3 = struct
+  type t = { cells : Runner.result list }
+
+  let runner_config ~seed = function
+    | Quick -> { Runner.default_config with Runner.requests = 800; seed }
+    | Full -> { Runner.default_config with Runner.seed = seed }
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?(apps = Apps.all) () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let config = runner_config ~seed scale in
+    let cells =
+      List.concat_map
+        (fun app ->
+          List.concat_map
+            (fun kind ->
+              List.map
+                (fun contended ->
+                  Runner.run_single_node ~app ~kind ~contended ~config
+                    ~noise_corpus:corpus ())
+                [ false; true ])
+            [ kvm_kind; Env.Docker ])
+        apps
+    in
+    { cells }
+
+  let cell t ~app ~kind ~contended =
+    List.find_opt
+      (fun (r : Runner.result) ->
+        r.Runner.app_name = app && r.Runner.kind = kind
+        && r.Runner.contended = contended)
+      t.cells
+
+  let apps_of t =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Runner.result) -> r.Runner.app_name) t.cells)
+
+  let pp ppf t =
+    let p99 app kind contended =
+      match cell t ~app ~kind ~contended with
+      | Some r -> r.Runner.p99 /. 1e6
+      | None -> nan
+    in
+    let apps = apps_of t in
+    Format.fprintf ppf "Figure 3(a): isolated p99 request latency@.";
+    Report.grouped_bars ~title:"  isolated" ~unit_label:"ms"
+      ~series:[ "kvm"; "docker" ]
+      (List.map (fun a -> (a, [ p99 a "kvm" false; p99 a "docker" false ])) apps)
+      ppf;
+    Format.fprintf ppf "@.Figure 3(b): p99 with varbench competition@.";
+    Report.grouped_bars ~title:"  contended" ~unit_label:"ms"
+      ~series:[ "kvm"; "docker" ]
+      (List.map (fun a -> (a, [ p99 a "kvm" true; p99 a "docker" true ])) apps)
+      ppf;
+    Format.fprintf ppf "@.Figure 3(c): p99 increase, isolated -> contended@.";
+    let increase app kind =
+      match (cell t ~app ~kind ~contended:false, cell t ~app ~kind ~contended:true) with
+      | Some iso, Some cont -> Runner.percent_increase ~isolated:iso ~contended:cont
+      | _ -> nan
+    in
+    Report.grouped_bars ~title:"  degradation" ~unit_label:"%"
+      ~series:[ "kvm"; "docker" ]
+      (List.map (fun a -> (a, [ increase a "kvm"; increase a "docker" ])) apps)
+      ppf
+end
+
+module Fig4 = struct
+  type t = { cells : Cluster.result list }
+
+  let paper_apps = [ "xapian"; "masstree"; "moses"; "sphinx"; "img-dnn"; "silo" ]
+
+  let cluster_config ~seed = function
+    | Quick ->
+        {
+          Cluster.default_config with
+          Cluster.nodes_simulated = 1;
+          sim_iterations_per_node = 12;
+          warmup_iterations = 1;
+          requests_per_iteration = 15;
+          seed;
+        }
+    | Full -> { Cluster.default_config with Cluster.seed = seed }
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?apps () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let apps =
+      match apps with
+      | Some l -> l
+      | None -> List.filter_map Apps.by_name paper_apps
+    in
+    let config = cluster_config ~seed scale in
+    let cells =
+      List.concat_map
+        (fun app ->
+          List.concat_map
+            (fun kind ->
+              List.map
+                (fun contended ->
+                  Cluster.run ~app ~kind ~contended ~config
+                    ~noise_corpus:corpus ())
+                [ false; true ])
+            [ kvm_kind; Env.Docker ])
+        apps
+    in
+    { cells }
+
+  let cell t ~app ~kind ~contended =
+    List.find_opt
+      (fun (r : Cluster.result) ->
+        r.Cluster.app_name = app && r.Cluster.kind = kind
+        && r.Cluster.contended = contended)
+      t.cells
+
+  let apps_of t =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Cluster.result) -> r.Cluster.app_name) t.cells)
+
+  let pp ppf t =
+    let runtime app kind contended =
+      match cell t ~app ~kind ~contended with
+      | Some r -> r.Cluster.runtime_ns /. 1e9
+      | None -> nan
+    in
+    let apps = apps_of t in
+    Format.fprintf ppf "Figure 4(a): isolated 64-node runtimes@.";
+    Report.grouped_bars ~title:"  isolated" ~unit_label:"s"
+      ~series:[ "kvm"; "docker" ]
+      (List.map
+         (fun a -> (a, [ runtime a "kvm" false; runtime a "docker" false ]))
+         apps)
+      ppf;
+    Format.fprintf ppf "@.Figure 4(b): multi-tenant 64-node runtimes@.";
+    Report.grouped_bars ~title:"  contended" ~unit_label:"s"
+      ~series:[ "kvm"; "docker" ]
+      (List.map
+         (fun a -> (a, [ runtime a "kvm" true; runtime a "docker" true ]))
+         apps)
+      ppf;
+    Format.fprintf ppf "@.Figure 4(c): relative loss, isolated -> multi-tenant@.";
+    let loss app kind =
+      match (cell t ~app ~kind ~contended:false, cell t ~app ~kind ~contended:true) with
+      | Some iso, Some cont -> Cluster.relative_loss ~isolated:iso ~contended:cont
+      | _ -> nan
+    in
+    Report.grouped_bars ~title:"  loss" ~unit_label:"%"
+      ~series:[ "kvm"; "docker" ]
+      (List.map (fun a -> (a, [ loss a "kvm"; loss a "docker" ])) apps)
+      ppf
+end
+
+module Ablate = struct
+  type row = { variant : string; p99 : Buckets.row; max : Buckets.row }
+
+  type t = { rows : row list }
+
+  let variants =
+    let module C = Ksurf_kernel.Config in
+    [
+      ("default", C.default);
+      ("no-background", C.without_background C.default);
+      ("no-tlb-shootdown", C.without_tlb_shootdown C.default);
+      ("no-timer-noise", C.without_timer_noise C.default);
+      ("all-off", C.quiet);
+    ]
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let rows =
+      List.map
+        (fun (variant, kernel_config) ->
+          let stats =
+            Study.site_stats
+              (run_varbench ~kernel_config ~seed ~scale ~corpus Env.Native
+                 (Partition.table1 1))
+          in
+          {
+            variant;
+            p99 = Study.bucket_row Study.P99 stats;
+            max = Study.bucket_row Study.Max stats;
+          })
+        variants
+    in
+    { rows }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "E7 ablation: native 64-rank varbench with mechanisms disabled@.@.";
+    let rows =
+      List.concat_map
+        (fun r ->
+          [
+            [ r.variant; "p99"; Format.asprintf "%a" Buckets.pp r.p99 ];
+            [ ""; "max"; Format.asprintf "%a" Buckets.pp r.max ];
+          ])
+        t.rows
+    in
+    Report.table ~header:[ "variant"; "stat"; Buckets.header ] ~rows ppf
+end
+
+module Lwvm = struct
+  type row = {
+    env : string;
+    median : Buckets.row;
+    p99 : Buckets.row;
+    max : Buckets.row;
+  }
+
+  type t = { rows : row list }
+
+  let environments =
+    [ ("native", Env.Native, 1); ("docker-64", Env.Docker, 64) ]
+    @ List.map
+        (fun (name, virt) -> (name ^ "-64", Env.Kvm virt, 64))
+        Ksurf_virt.Lightweight.all
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let rows =
+      List.map
+        (fun (env, kind, units) ->
+          let stats =
+            Study.site_stats
+              (run_varbench ~seed ~scale ~corpus kind (Partition.table1 units))
+          in
+          {
+            env;
+            median = Study.bucket_row Study.Median stats;
+            p99 = Study.bucket_row Study.P99 stats;
+            max = Study.bucket_row Study.Max stats;
+          })
+        environments
+    in
+    { rows }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "E9 extension: Table-2 breakdown across lightweight-VM technologies@.@.";
+    let cell row = Format.asprintf "%a" Buckets.pp row in
+    let rows =
+      List.concat_map
+        (fun r ->
+          [
+            [ r.env; "median"; cell r.median ];
+            [ ""; "p99"; cell r.p99 ];
+            [ ""; "max"; cell r.max ];
+          ])
+        t.rows
+    in
+    Report.table ~header:[ "environment"; "stat"; Buckets.header ] ~rows ppf
+end
+
+module Locks = struct
+  module Instance = Ksurf_kernel.Instance
+
+  type row = {
+    env : string;
+    lock : string;
+    acquisitions : int;
+    contended_pct : float;
+    mean_wait_ns : float;
+    max_wait_ns : float;
+  }
+
+  type t = { rows : row list }
+
+  let environments =
+    [ ("native", Env.Native, 1); ("kvm-8", kvm_kind, 8); ("kvm-64", kvm_kind, 64) ]
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let rows =
+      List.concat_map
+        (fun (env, kind, units) ->
+          let engine = Engine.create ~seed () in
+          let deployed = Env.deploy ~engine kind (Partition.table1 units) in
+          ignore (Harness.run ~env:deployed ~corpus ~params:(harness_params scale) ());
+          (* Aggregate each lock over every kernel instance of the
+             deployment (one for native, one per guest for KVM). *)
+          let merged = Hashtbl.create 16 in
+          List.iter
+            (fun instance ->
+              List.iter
+                (fun (r : Instance.lock_report) ->
+                  let acc =
+                    match Hashtbl.find_opt merged r.Instance.lock_name with
+                    | Some acc -> acc
+                    | None ->
+                        let acc = ref (0, 0, 0.0, 0.0) in
+                        Hashtbl.add merged r.Instance.lock_name acc;
+                        acc
+                  in
+                  let a, c, wait_total, wmax = !acc in
+                  acc :=
+                    ( a + r.Instance.acquisitions,
+                      c + r.Instance.contended,
+                      wait_total
+                      +. (r.Instance.mean_wait_ns
+                         *. float_of_int r.Instance.acquisitions),
+                      Float.max wmax r.Instance.max_wait_ns ))
+                (Instance.lock_contention_report instance))
+            (Env.instances deployed);
+          Hashtbl.fold
+            (fun lock acc rows ->
+              let a, c, wait_total, wmax = !acc in
+              if a = 0 then rows
+              else
+                {
+                  env;
+                  lock;
+                  acquisitions = a;
+                  contended_pct = 100.0 *. float_of_int c /. float_of_int a;
+                  mean_wait_ns = wait_total /. float_of_int a;
+                  max_wait_ns = wmax;
+                }
+                :: rows)
+            merged []
+          |> List.sort (fun x y -> Float.compare y.contended_pct x.contended_pct))
+        environments
+    in
+    { rows }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "E10 diagnostic: per-lock contention under the corpus (>= 0.1%% contended)@.@.";
+    let rows =
+      List.filter (fun r -> r.contended_pct >= 0.1) t.rows
+      |> List.map (fun r ->
+             [
+               r.env;
+               r.lock;
+               string_of_int r.acquisitions;
+               Printf.sprintf "%.1f%%" r.contended_pct;
+               Report.duration_ns r.mean_wait_ns;
+               Report.duration_ns r.max_wait_ns;
+             ])
+    in
+    Report.table
+      ~header:[ "environment"; "lock"; "acq"; "contended"; "mean wait"; "max wait" ]
+      ~rows ppf
+end
+
+module Ablate_virt = struct
+  type row = {
+    app : string;
+    exit_scale : float;
+    kvm_runtime_ns : float;
+    docker_runtime_ns : float;
+  }
+
+  type t = { rows : row list }
+
+  let scales = [ 1.0; 0.5; 0.25; 0.0 ]
+
+  let run ?(seed = 42) ?(scale = Quick) ?corpus ?apps () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let apps =
+      match apps with
+      | Some l -> l
+      | None -> List.filter_map Apps.by_name [ "silo"; "sphinx" ]
+    in
+    let config = Fig4.cluster_config ~seed scale in
+    let rows =
+      List.concat_map
+        (fun app ->
+          let docker =
+            Cluster.run ~app ~kind:Env.Docker ~contended:true ~config
+              ~noise_corpus:corpus ()
+          in
+          List.map
+            (fun exit_scale ->
+              let virt =
+                Ksurf_virt.Virt_config.scale exit_scale
+                  Ksurf_virt.Virt_config.default
+              in
+              let kvm =
+                Cluster.run ~app ~kind:(Env.Kvm virt) ~contended:true ~config
+                  ~noise_corpus:corpus ()
+              in
+              {
+                app = app.Apps.name;
+                exit_scale;
+                kvm_runtime_ns = kvm.Cluster.runtime_ns;
+                docker_runtime_ns = docker.Cluster.runtime_ns;
+              })
+            scales)
+        apps
+    in
+    { rows }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "E8 ablation: contended 64-node KVM runtime as exit costs shrink@.@.";
+    let rows =
+      List.map
+        (fun r ->
+          [
+            r.app;
+            Printf.sprintf "%.2f" r.exit_scale;
+            Printf.sprintf "%.3f" (r.kvm_runtime_ns /. 1e9);
+            Printf.sprintf "%.3f" (r.docker_runtime_ns /. 1e9);
+            Printf.sprintf "%+.1f%%"
+              (100.0
+              *. (r.docker_runtime_ns -. r.kvm_runtime_ns)
+              /. r.docker_runtime_ns);
+          ])
+        t.rows
+    in
+    Report.table
+      ~header:[ "app"; "exit scale"; "kvm (s)"; "docker (s)"; "kvm advantage" ]
+      ~rows ppf
+end

@@ -1,0 +1,195 @@
+(** Drivers that regenerate every table and figure of the paper.
+
+    Each driver is deterministic given [seed] and returns a structured
+    result plus a paper-style textual rendering.  [Quick] scale keeps
+    everything under a few seconds for tests and smoke runs; [Full]
+    scale is what the benchmark harness uses (minutes, larger corpora
+    and sample counts). *)
+
+type scale = Quick | Full
+
+val scale_of_string : string -> scale option
+val default_corpus : ?seed:int -> scale -> Ksurf_syzgen.Corpus.t
+(** The syzgen corpus used by every experiment at this scale. *)
+
+(** Table 1: the VM configurations of the surface-area study. *)
+module Table1 : sig
+  type t = (int * Ksurf_env.Partition.t) list
+
+  val run : unit -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Table 2: latency breakdown — native vs 64 1-core VMs vs 64 1-core
+    containers. *)
+module Table2 : sig
+  type row = {
+    env : string;
+    median : Ksurf_stats.Buckets.row;
+    p99 : Ksurf_stats.Buckets.row;
+    max : Ksurf_stats.Buckets.row;
+  }
+
+  type t = {
+    rows : row list;
+    corpus_calls : int;  (** unique call sites in the corpus *)
+    invocations_per_env : int;
+  }
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Figure 2: per-category p99 violins across the Table 1 VM sweep. *)
+module Fig2 : sig
+  type cell = {
+    vms : int;
+    category : Ksurf_kernel.Category.t;
+    violin : Ksurf_stats.Violin.t option;  (** [None]: no surviving sites *)
+  }
+
+  type t = {
+    cells : cell list;
+    filtered_sites : int;  (** sites passing the 10 µs native-median filter *)
+    total_sites : int;
+  }
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
+    ?kernel_config:Ksurf_kernel.Config.t -> unit -> t
+
+  val pp : Format.formatter -> t -> unit
+  (** Numeric violin table per category plus ASCII violins. *)
+end
+
+(** Table 3: worst-case breakdown across Docker container counts. *)
+module Table3 : sig
+  type row = { containers : int; max : Ksurf_stats.Buckets.row }
+
+  type t = { rows : row list }
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Figure 3: single-node tailbench p99, isolated and contended. *)
+module Fig3 : sig
+  type t = {
+    cells : Ksurf_tailbench.Runner.result list;
+        (** 8 apps x {kvm,docker} x {isolated,contended} *)
+  }
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
+    ?apps:Ksurf_tailbench.Apps.t list -> unit -> t
+
+  val cell : t -> app:string -> kind:string -> contended:bool ->
+    Ksurf_tailbench.Runner.result option
+
+  val pp : Format.formatter -> t -> unit
+  (** Renders (a) isolated p99s, (b) contended p99s, (c) %% increase. *)
+end
+
+(** Figure 4: 64-node BSP runtimes. *)
+module Fig4 : sig
+  type t = { cells : Ksurf_cluster.Cluster.result list }
+
+  val paper_apps : string list
+  (** xapian, masstree, moses, sphinx, img-dnn, silo — no shore (no SSDs
+      on the cluster nodes) or specjbb (Java runtime failures), as in
+      the paper. *)
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
+    ?apps:Ksurf_tailbench.Apps.t list -> unit -> t
+
+  val cell : t -> app:string -> kind:string -> contended:bool ->
+    Ksurf_cluster.Cluster.result option
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** E7 ablation: which modeled mechanism produces the native tails. *)
+module Ablate : sig
+  type row = {
+    variant : string;
+    p99 : Ksurf_stats.Buckets.row;
+    max : Ksurf_stats.Buckets.row;
+  }
+
+  type t = { rows : row list }
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+  (** Native 64-rank varbench under: default, no background daemons, no
+      TLB shootdowns, no timer noise, all off. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** E9 extension (the paper's future work, §2): the Table-2 comparison
+    repeated for lightweight-VM technologies — Firecracker, Kata, Nabla
+    presets from {!Ksurf_virt.Lightweight} — next to native, Docker and
+    stock KVM, all as 64 single-core isolation units. *)
+module Lwvm : sig
+  type row = {
+    env : string;
+    median : Ksurf_stats.Buckets.row;
+    p99 : Ksurf_stats.Buckets.row;
+    max : Ksurf_stats.Buckets.row;
+  }
+
+  type t = { rows : row list }
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** E10 diagnostic: attribute contention to specific kernel locks (the
+    §3.3 discussion, made measurable).  Runs the corpus natively and on
+    two VM partitions and reports, per kernel lock, how often it was
+    contended and how long waiters waited. *)
+module Locks : sig
+  type row = {
+    env : string;
+    lock : string;
+    acquisitions : int;
+    contended_pct : float;
+    mean_wait_ns : float;
+    max_wait_ns : float;
+  }
+
+  type t = { rows : row list }
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+
+  val pp : Format.formatter -> t -> unit
+  (** Sorted by contention within each environment; quiet locks
+      (contention < 0.1%%) are omitted. *)
+end
+
+(** E8 ablation: Figure 4 contended KVM cells as virtualisation hardware
+    improves (exit costs scaled down). *)
+module Ablate_virt : sig
+  type row = {
+    app : string;
+    exit_scale : float;
+    kvm_runtime_ns : float;
+    docker_runtime_ns : float;  (** unscaled docker reference *)
+  }
+
+  type t = { rows : row list }
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
+    ?apps:Ksurf_tailbench.Apps.t list -> unit -> t
+
+  val pp : Format.formatter -> t -> unit
+end

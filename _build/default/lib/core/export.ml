@@ -1,0 +1,143 @@
+module Csv = Ksurf_report.Csv
+module Buckets = Ksurf_stats.Buckets
+module Violin = Ksurf_stats.Violin
+module Category = Ksurf_kernel.Category
+module Runner = Ksurf_tailbench.Runner
+module Cluster = Ksurf_cluster.Cluster
+module E = Experiments
+
+let bucket_header = [ "le_1us"; "le_10us"; "le_100us"; "le_1ms"; "le_10ms"; "gt_10ms" ]
+
+let bucket_cells (r : Buckets.row) =
+  List.map (Printf.sprintf "%.4f")
+    [ r.Buckets.le_1us; r.Buckets.le_10us; r.Buckets.le_100us;
+      r.Buckets.le_1ms; r.Buckets.le_10ms; r.Buckets.gt_10ms ]
+
+let path dir name = Filename.concat dir name
+
+let bucket_table ~dir ~file ~label_name rows =
+  let p = path dir file in
+  Csv.write ~path:p
+    ~header:([ label_name; "statistic" ] @ bucket_header)
+    ~rows:
+      (List.concat_map
+         (fun (label, stats) ->
+           List.map (fun (stat, row) -> [ label; stat ] @ bucket_cells row) stats)
+         rows);
+  [ p ]
+
+let table2 ~dir (t : E.Table2.t) =
+  bucket_table ~dir ~file:"table2.csv" ~label_name:"environment"
+    (List.map
+       (fun (r : E.Table2.row) ->
+         ( r.E.Table2.env,
+           [ ("median", r.E.Table2.median); ("p99", r.E.Table2.p99);
+             ("max", r.E.Table2.max) ] ))
+       t.E.Table2.rows)
+
+let fig2 ~dir (t : E.Fig2.t) =
+  let p = path dir "fig2.csv" in
+  let header =
+    [ "vms"; "category"; "sites"; "min"; "lo95"; "q1"; "median"; "q3"; "hi95"; "max" ]
+  in
+  let rows =
+    List.filter_map
+      (fun (c : E.Fig2.cell) ->
+        Option.map
+          (fun (v : Violin.t) ->
+            [
+              string_of_int c.E.Fig2.vms;
+              Category.to_string c.E.Fig2.category;
+              string_of_int v.Violin.count;
+              Printf.sprintf "%.1f" v.Violin.min;
+              Printf.sprintf "%.1f" v.Violin.lo95;
+              Printf.sprintf "%.1f" v.Violin.q1;
+              Printf.sprintf "%.1f" v.Violin.median;
+              Printf.sprintf "%.1f" v.Violin.q3;
+              Printf.sprintf "%.1f" v.Violin.hi95;
+              Printf.sprintf "%.1f" v.Violin.max;
+            ])
+          c.E.Fig2.violin)
+      t.E.Fig2.cells
+  in
+  Csv.write ~path:p ~header ~rows;
+  [ p ]
+
+let table3 ~dir (t : E.Table3.t) =
+  bucket_table ~dir ~file:"table3.csv" ~label_name:"containers"
+    (List.map
+       (fun (r : E.Table3.row) ->
+         (string_of_int r.E.Table3.containers, [ ("max", r.E.Table3.max) ]))
+       t.E.Table3.rows)
+
+let fig3 ~dir (t : E.Fig3.t) =
+  let p = path dir "fig3.csv" in
+  Csv.write ~path:p
+    ~header:[ "app"; "kind"; "contended"; "mean_ns"; "p95_ns"; "p99_ns"; "max_ns" ]
+    ~rows:
+      (List.map
+         (fun (r : Runner.result) ->
+           [
+             r.Runner.app_name;
+             r.Runner.kind;
+             string_of_bool r.Runner.contended;
+             Printf.sprintf "%.0f" r.Runner.mean;
+             Printf.sprintf "%.0f" r.Runner.p95;
+             Printf.sprintf "%.0f" r.Runner.p99;
+             Printf.sprintf "%.0f" r.Runner.max;
+           ])
+         t.E.Fig3.cells);
+  [ p ]
+
+let fig4 ~dir (t : E.Fig4.t) =
+  let p = path dir "fig4.csv" in
+  Csv.write ~path:p
+    ~header:
+      [ "app"; "kind"; "contended"; "runtime_ns"; "node_mean_iter_ns";
+        "node_p99_iter_ns"; "straggler_factor" ]
+    ~rows:
+      (List.map
+         (fun (r : Cluster.result) ->
+           [
+             r.Cluster.app_name;
+             r.Cluster.kind;
+             string_of_bool r.Cluster.contended;
+             Printf.sprintf "%.0f" r.Cluster.runtime_ns;
+             Printf.sprintf "%.0f" r.Cluster.node_mean_iter_ns;
+             Printf.sprintf "%.0f" r.Cluster.node_p99_iter_ns;
+             Printf.sprintf "%.4f" r.Cluster.straggler_factor;
+           ])
+         t.E.Fig4.cells);
+  [ p ]
+
+let ablate ~dir (t : E.Ablate.t) =
+  bucket_table ~dir ~file:"ablate.csv" ~label_name:"variant"
+    (List.map
+       (fun (r : E.Ablate.row) ->
+         (r.E.Ablate.variant, [ ("p99", r.E.Ablate.p99); ("max", r.E.Ablate.max) ]))
+       t.E.Ablate.rows)
+
+let lwvm ~dir (t : E.Lwvm.t) =
+  bucket_table ~dir ~file:"lwvm.csv" ~label_name:"environment"
+    (List.map
+       (fun (r : E.Lwvm.row) ->
+         ( r.E.Lwvm.env,
+           [ ("median", r.E.Lwvm.median); ("p99", r.E.Lwvm.p99);
+             ("max", r.E.Lwvm.max) ] ))
+       t.E.Lwvm.rows)
+
+let ablate_virt ~dir (t : E.Ablate_virt.t) =
+  let p = path dir "ablate_virt.csv" in
+  Csv.write ~path:p
+    ~header:[ "app"; "exit_scale"; "kvm_runtime_ns"; "docker_runtime_ns" ]
+    ~rows:
+      (List.map
+         (fun (r : E.Ablate_virt.row) ->
+           [
+             r.E.Ablate_virt.app;
+             Printf.sprintf "%.2f" r.E.Ablate_virt.exit_scale;
+             Printf.sprintf "%.0f" r.E.Ablate_virt.kvm_runtime_ns;
+             Printf.sprintf "%.0f" r.E.Ablate_virt.docker_runtime_ns;
+           ])
+         t.E.Ablate_virt.rows);
+  [ p ]

@@ -1,0 +1,16 @@
+(** CSV export of experiment results, for external plotting.
+
+    Each function writes one or more files into [dir] and returns the
+    paths written.  Filenames are stable ([table2.csv], [fig2.csv], …)
+    so plotting scripts can be re-run against fresh results. *)
+
+val table2 : dir:string -> Experiments.Table2.t -> string list
+val fig2 : dir:string -> Experiments.Fig2.t -> string list
+(** One row per (vm count, category): the violin's numeric summary. *)
+
+val table3 : dir:string -> Experiments.Table3.t -> string list
+val fig3 : dir:string -> Experiments.Fig3.t -> string list
+val fig4 : dir:string -> Experiments.Fig4.t -> string list
+val ablate : dir:string -> Experiments.Ablate.t -> string list
+val lwvm : dir:string -> Experiments.Lwvm.t -> string list
+val ablate_virt : dir:string -> Experiments.Ablate_virt.t -> string list

@@ -1,0 +1,1 @@
+lib/env/env.ml: Array Ksurf_container Ksurf_kernel Ksurf_sim Ksurf_syscalls Ksurf_virt List Machine Partition Printf

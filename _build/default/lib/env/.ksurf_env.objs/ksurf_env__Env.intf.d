@@ -1,0 +1,1 @@
+lib/env/env.mli: Ksurf_kernel Ksurf_sim Ksurf_syscalls Ksurf_virt Machine Partition

@@ -1,0 +1,1 @@
+lib/env/partition.ml: Format List Machine Printf String

@@ -1,0 +1,1 @@
+lib/env/partition.mli: Format

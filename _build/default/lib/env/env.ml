@@ -1,0 +1,150 @@
+module Engine = Ksurf_sim.Engine
+module Instance = Ksurf_kernel.Instance
+module Spec = Ksurf_syscalls.Spec
+module Arg = Ksurf_syscalls.Arg
+module Vm = Ksurf_virt.Vm
+module Hypervisor = Ksurf_virt.Hypervisor
+module Container = Ksurf_container.Container
+
+type kind = Native | Kvm of Ksurf_virt.Virt_config.t | Docker
+
+let kind_name = function Native -> "native" | Kvm _ -> "kvm" | Docker -> "docker"
+
+type target =
+  | On_host of Instance.t  (** native: straight to the host kernel *)
+  | On_vm of Vm.t * int  (** guest kernel, local vCPU *)
+  | On_ctr of Container.t * int  (** shared host kernel via namespaces *)
+
+type rank = { target : target; unit_index : int; global_core : int }
+
+type t = {
+  kind : kind;
+  engine : Engine.t;
+  ranks : rank array;
+  instances : Instance.t list;
+}
+
+let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Config.default)
+    kind partition =
+  let units = partition.Partition.units in
+  if Partition.total_cores partition > machine.Machine.cores then
+    invalid_arg "Env.deploy: partition exceeds machine cores";
+  match kind with
+  | Native ->
+      let host =
+        Ksurf_kernel.Kernel.boot ~engine ~config:kernel_config ~id:0
+          ~cores:machine.Machine.cores ~mem_mb:machine.Machine.mem_mb ()
+      in
+      let ranks = ref [] in
+      let core = ref 0 in
+      List.iteri
+        (fun unit_index (u : Partition.unit_spec) ->
+          for _ = 1 to u.Partition.cores do
+            ranks :=
+              { target = On_host host; unit_index; global_core = !core } :: !ranks;
+            incr core
+          done)
+        units;
+      let ranks = Array.of_list (List.rev !ranks) in
+      Instance.set_tenants host (Array.length ranks);
+      { kind; engine; ranks; instances = [ host ] }
+  | Kvm virt ->
+      let hv = Hypervisor.create ~engine ~kernel_config ~virt () in
+      let ranks = ref [] in
+      let core = ref 0 in
+      let vms =
+        List.mapi
+          (fun unit_index (u : Partition.unit_spec) ->
+            let vm =
+              Hypervisor.boot_vm hv
+                { Vm.vcpus = u.Partition.cores; mem_mb = u.Partition.mem_mb }
+            in
+            Instance.set_tenants (Vm.guest vm) u.Partition.cores;
+            for vcpu = 0 to u.Partition.cores - 1 do
+              ranks :=
+                { target = On_vm (vm, vcpu); unit_index; global_core = !core }
+                :: !ranks;
+              incr core
+            done;
+            vm)
+          units
+      in
+      {
+        kind;
+        engine;
+        ranks = Array.of_list (List.rev !ranks);
+        instances = List.map Vm.guest vms;
+      }
+  | Docker ->
+      let host =
+        Ksurf_kernel.Kernel.boot ~engine ~config:kernel_config ~id:0
+          ~cores:machine.Machine.cores ~mem_mb:machine.Machine.mem_mb ()
+      in
+      let ranks = ref [] in
+      let core = ref 0 in
+      List.iteri
+        (fun unit_index (u : Partition.unit_spec) ->
+          let ctr =
+            Container.launch ~host ~id:unit_index
+              { Container.cpus = u.Partition.cores;
+                mem_limit_mb = u.Partition.mem_mb }
+          in
+          for _ = 1 to u.Partition.cores do
+            ranks :=
+              { target = On_ctr (ctr, !core); unit_index; global_core = !core }
+              :: !ranks;
+            incr core
+          done)
+        units;
+      let ranks = Array.of_list (List.rev !ranks) in
+      Instance.set_tenants host (Array.length ranks);
+      { kind; engine; ranks; instances = [ host ] }
+
+let kind t = t.kind
+let engine t = t.engine
+let rank_count t = Array.length t.ranks
+
+let rank t i =
+  if i < 0 || i >= Array.length t.ranks then
+    invalid_arg (Printf.sprintf "Env: rank %d out of range" i);
+  t.ranks.(i)
+
+let unit_of_rank t i = (rank t i).unit_index
+
+let exec_ops t ~rank:i ~key ops =
+  let r = rank t i in
+  let t0 = Engine.now t.engine in
+  (match r.target with
+  | On_host host ->
+      let cfg = Instance.config host in
+      let ctx =
+        { Instance.core = r.global_core; tenant = i; key; cgroup = None }
+      in
+      Instance.burn host cfg.Ksurf_kernel.Config.syscall_entry_cost;
+      Instance.exec_program host ctx ops
+  | On_vm (vm, vcpu) -> Vm.exec_syscall vm ~core:vcpu ~tenant:i ~key ops
+  | On_ctr (ctr, core) -> Container.exec_syscall ctr ~core ~tenant:i ~key ops);
+  Engine.now t.engine -. t0
+
+let exec_syscall t ~rank spec (arg : Arg.t) =
+  exec_ops t ~rank ~key:arg.Arg.obj (spec.Spec.ops arg)
+
+let instances t = t.instances
+
+let barrier_cost_per_party t =
+  match t.kind with
+  | Native -> 1_500.0
+  | Docker -> 1_800.0 (* veth/bridge hop *)
+  | Kvm virt -> 1_500.0 +. virt.Ksurf_virt.Virt_config.virtio_net_per_msg
+
+let surface_area_of_rank t i =
+  match (rank t i).target with
+  | On_host host -> Instance.surface_area host
+  | On_vm (vm, _) -> Instance.surface_area (Vm.guest vm)
+  | On_ctr (ctr, _) -> Instance.surface_area (Container.host ctr)
+
+let busy_of_rank t i =
+  match (rank t i).target with
+  | On_host host -> Instance.busy_fraction host
+  | On_vm (vm, _) -> Instance.busy_fraction (Vm.guest vm)
+  | On_ctr (ctr, _) -> Instance.busy_fraction (Container.host ctr)

@@ -1,0 +1,61 @@
+(** Deployments: the same workload over native, virtualised, or
+    containerised system software (the Environment box of Figure 1).
+
+    A deployment places one {e rank} (worker process) on every core of
+    the partition and routes each rank's system calls to the kernel
+    instance that serves it: the single host kernel (native, Docker) or
+    the rank's guest kernel (KVM).  The workload — call sequence,
+    resource demand, parallelism — is identical across kinds; only the
+    kernel surface area behind each rank changes. *)
+
+type kind =
+  | Native
+  | Kvm of Ksurf_virt.Virt_config.t
+  | Docker
+
+val kind_name : kind -> string
+
+type t
+
+val deploy :
+  engine:Ksurf_sim.Engine.t ->
+  ?machine:Machine.t ->
+  ?kernel_config:Ksurf_kernel.Config.t ->
+  kind ->
+  Partition.t ->
+  t
+(** Boot the environment: host kernel (+ per-VM guests or per-container
+    cgroups), pinned cores, tenant registration.  [machine] defaults to
+    {!Machine.epyc}. *)
+
+val kind : t -> kind
+val engine : t -> Ksurf_sim.Engine.t
+val rank_count : t -> int
+(** One rank per partition core. *)
+
+val unit_of_rank : t -> int -> int
+(** Which partition unit (VM/container index) a rank is pinned into. *)
+
+val exec_syscall :
+  t -> rank:int -> Ksurf_syscalls.Spec.t -> Ksurf_syscalls.Arg.t -> float
+(** Execute one call from the given rank and return its latency in ns.
+    Must run inside a simulation process. *)
+
+val exec_ops : t -> rank:int -> key:int -> Ksurf_kernel.Ops.op list -> float
+(** Lower-level entry point for application models that synthesise their
+    own op programs (tailbench): same wrapping, explicit object key. *)
+
+val instances : t -> Ksurf_kernel.Instance.t list
+(** All kernel instances serving this deployment (1 for native/Docker,
+    one per VM for KVM), for diagnostics. *)
+
+val barrier_cost_per_party : t -> float
+(** Network cost of one barrier round for this deployment: MPI over
+    loopback (native/Docker) vs over virtio/TAP (KVM). *)
+
+val surface_area_of_rank : t -> int -> float
+(** Normalised surface area of the kernel instance behind a rank. *)
+
+val busy_of_rank : t -> int -> float
+(** {!Ksurf_kernel.Instance.busy_fraction} of the kernel instance behind
+    a rank — how loaded the kernel serving this rank currently is. *)

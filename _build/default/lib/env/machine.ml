@@ -1,0 +1,6 @@
+type t = { cores : int; mem_mb : int; memory_channels : int }
+
+let epyc = { cores = 64; mem_mb = 65536; memory_channels = 4 }
+let haswell_node = { cores = 48; mem_mb = 131072; memory_channels = 2 }
+let virtualized_cores = 64
+let virtualized_mem_mb = 32768

@@ -1,0 +1,20 @@
+(** The evaluation machine (§4.1 of the paper).
+
+    A Dell PowerEdge R6415: AMD EPYC, 64 hardware threads, 64 GB DRAM
+    over four memory channels.  Table 1 virtualises 64 cores and 32 GB
+    of that memory for the benchmark. *)
+
+type t = { cores : int; mem_mb : int; memory_channels : int }
+
+val epyc : t
+(** 64 cores / 65536 MB / 4 channels — the single-node platform. *)
+
+val haswell_node : t
+(** One Chameleon node (§6.3): 48 hyperthreads / 131072 MB / 2 sockets
+    (modeled as 2 channels). *)
+
+val virtualized_cores : int
+(** 64 — cores given to the benchmark in Table 1 configurations. *)
+
+val virtualized_mem_mb : int
+(** 32768 — memory given to the benchmark in Table 1 configurations. *)

@@ -1,0 +1,33 @@
+type unit_spec = { cores : int; mem_mb : int }
+type t = { units : unit_spec list }
+
+let equal_split ~units ~total_cores ~total_mem_mb =
+  if units < 1 then invalid_arg "Partition.equal_split: units must be >= 1";
+  if total_cores mod units <> 0 then
+    invalid_arg "Partition.equal_split: cores do not divide evenly";
+  if total_mem_mb mod units <> 0 then
+    invalid_arg "Partition.equal_split: memory does not divide evenly";
+  let spec = { cores = total_cores / units; mem_mb = total_mem_mb / units } in
+  { units = List.init units (fun _ -> spec) }
+
+let table1_rows = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let table1 n =
+  if not (List.mem n table1_rows) then
+    invalid_arg (Printf.sprintf "Partition.table1: %d is not a Table 1 row" n);
+  equal_split ~units:n ~total_cores:Machine.virtualized_cores
+    ~total_mem_mb:Machine.virtualized_mem_mb
+
+let total_cores t = List.fold_left (fun acc u -> acc + u.cores) 0 t.units
+let total_mem_mb t = List.fold_left (fun acc u -> acc + u.mem_mb) 0 t.units
+let unit_count t = List.length t.units
+
+let pp ppf t =
+  match t.units with
+  | [] -> Format.pp_print_string ppf "<empty partition>"
+  | u :: _ when List.for_all (fun v -> v = u) t.units ->
+      Format.fprintf ppf "%d x (%d cores, %d MB)" (unit_count t) u.cores u.mem_mb
+  | units ->
+      Format.fprintf ppf "[%s]"
+        (String.concat "; "
+           (List.map (fun u -> Printf.sprintf "(%dc,%dMB)" u.cores u.mem_mb) units))

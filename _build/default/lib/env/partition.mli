@@ -1,0 +1,25 @@
+(** Resource partitions: how the virtualised resources are split into
+    isolation units (VMs or containers).
+
+    Table 1 of the paper: {1, 2, 4, 8, 16, 32, 64} units over 64 cores
+    and 32 GB, each unit getting an equal share. *)
+
+type unit_spec = { cores : int; mem_mb : int }
+
+type t = { units : unit_spec list }
+
+val equal_split : units:int -> total_cores:int -> total_mem_mb:int -> t
+(** Raises [Invalid_argument] if the division is not exact. *)
+
+val table1 : int -> t
+(** [table1 n] for n in {1,2,4,8,16,32,64}: the paper's VM configuration
+    rows.  Raises [Invalid_argument] for other values. *)
+
+val table1_rows : int list
+(** [1; 2; 4; 8; 16; 32; 64]. *)
+
+val total_cores : t -> int
+val total_mem_mb : t -> int
+val unit_count : t -> int
+
+val pp : Format.formatter -> t -> unit

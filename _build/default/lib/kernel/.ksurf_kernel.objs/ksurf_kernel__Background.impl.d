@@ -1,0 +1,1 @@
+lib/kernel/background.ml: Config Float Instance Ksurf_sim Ksurf_util Ops

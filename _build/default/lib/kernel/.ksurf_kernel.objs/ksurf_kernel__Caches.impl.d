@@ -1,0 +1,1 @@
+lib/kernel/caches.ml: Float Ksurf_util

@@ -1,0 +1,1 @@
+lib/kernel/caches.mli: Ksurf_util

@@ -1,0 +1,1 @@
+lib/kernel/instance.ml: Array Caches Config Float Ksurf_sim Ksurf_util List Ops Printf

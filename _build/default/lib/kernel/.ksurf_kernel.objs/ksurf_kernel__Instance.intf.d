@@ -1,0 +1,1 @@
+lib/kernel/instance.mli: Config Ksurf_sim Ksurf_util Ops

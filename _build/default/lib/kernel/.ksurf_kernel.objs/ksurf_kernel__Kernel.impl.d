@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Background Config Instance

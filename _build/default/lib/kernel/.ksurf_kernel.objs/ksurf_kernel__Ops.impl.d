@@ -1,0 +1,1 @@
+lib/kernel/ops.ml: Format Ksurf_util List

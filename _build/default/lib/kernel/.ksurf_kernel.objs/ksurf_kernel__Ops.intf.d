@@ -1,0 +1,1 @@
+lib/kernel/ops.mli: Format Ksurf_util

@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  base_hit_rate : float;
+  pressure_per_sharer : float;
+  mutable sharers : int;
+  mutable lookups : int;
+  mutable misses : int;
+}
+
+let create ~name ~base_hit_rate ~pressure_per_sharer =
+  if base_hit_rate < 0.0 || base_hit_rate > 1.0 then
+    invalid_arg "Caches.create: hit rate out of range";
+  { name; base_hit_rate; pressure_per_sharer; sharers = 1; lookups = 0; misses = 0 }
+
+let set_sharers t n = t.sharers <- max 1 n
+
+let hit_rate t =
+  let degraded =
+    t.base_hit_rate -. (float_of_int (t.sharers - 1) *. t.pressure_per_sharer)
+  in
+  Float.max 0.5 degraded
+
+let probe t rng =
+  t.lookups <- t.lookups + 1;
+  let hit = Ksurf_util.Prng.chance rng (hit_rate t) in
+  if not hit then t.misses <- t.misses + 1;
+  hit
+
+let name t = t.name
+let lookups t = t.lookups
+let misses t = t.misses

@@ -1,0 +1,92 @@
+module Dist = Ksurf_util.Dist
+
+type t = {
+  enable_background : bool;
+  enable_tlb_shootdown : bool;
+  enable_cgroup_accounting : bool;
+  enable_timer_noise : bool;
+  syscall_entry_cost : float;
+  cpu_cost_factor : float;
+  ipi_cost : float;
+  tick_period : float;
+  tick_service_cost : Dist.t;
+  tlb_ack_slow_prob : float;
+  tlb_ack_slow_cost : Dist.t;
+  journal_commit_interval : Dist.t;
+  journal_commit_hold : Dist.t;
+  kswapd_interval : Dist.t;
+  kswapd_hold : Dist.t;
+  balancer_interval : Dist.t;
+  balancer_hold_per_core : Dist.t;
+  flusher_interval : Dist.t;
+  flusher_hold_per_cgroup : Dist.t;
+  dcache_hit_cost : float;
+  dcache_miss_cost : Dist.t;
+  page_cache_hit_cost : float;
+  page_cache_miss_cost : Dist.t;
+  slab_fast_cost : float;
+  slab_refill_cost : Dist.t;
+  slab_refill_prob : float;
+  cache_pressure_per_sharer : float;
+  cgroup_charge_fast_cost : float;
+  cgroup_charge_slow_prob : float;
+  cgroup_charge_slow_hold : Dist.t;
+  block_latency : Dist.t;
+  block_bandwidth_ns_per_byte : float;
+  block_queue_depth : int;
+}
+
+let default =
+  {
+    enable_background = true;
+    enable_tlb_shootdown = true;
+    enable_cgroup_accounting = true;
+    enable_timer_noise = true;
+    syscall_entry_cost = 180.0;
+    cpu_cost_factor = 1.0;
+    ipi_cost = 1_200.0;
+    tick_period = 1e6 (* HZ=1000 *);
+    tick_service_cost = Dist.lognormal ~median:2_500.0 ~sigma:0.6;
+    tlb_ack_slow_prob = 0.04;
+    tlb_ack_slow_cost = Dist.bounded_pareto ~lo:5e4 ~hi:1.5e7 ~shape:0.7;
+    journal_commit_interval = Dist.uniform ~lo:5e7 ~hi:1.5e8 (* 50-150 ms *);
+    journal_commit_hold = Dist.lognormal ~median:3e6 ~sigma:1.2 (* ~3 ms, tail to tens of ms *);
+    kswapd_interval = Dist.uniform ~lo:6e7 ~hi:2e8;
+    kswapd_hold = Dist.lognormal ~median:1.5e6 ~sigma:1.0;
+    balancer_interval = Dist.uniform ~lo:8e6 ~hi:4e7 (* 8-40 ms *);
+    balancer_hold_per_core = Dist.lognormal ~median:9e3 ~sigma:0.7;
+    flusher_interval = Dist.uniform ~lo:2e7 ~hi:8e7;
+    flusher_hold_per_cgroup = Dist.lognormal ~median:2e4 ~sigma:0.6;
+    dcache_hit_cost = 60.0;
+    dcache_miss_cost = Dist.lognormal ~median:1_800.0 ~sigma:0.5;
+    page_cache_hit_cost = 90.0;
+    page_cache_miss_cost = Dist.lognormal ~median:2_600.0 ~sigma:0.6;
+    slab_fast_cost = 40.0;
+    slab_refill_cost = Dist.lognormal ~median:2_200.0 ~sigma:0.5;
+    slab_refill_prob = 0.02;
+    cache_pressure_per_sharer = 0.004;
+    cgroup_charge_fast_cost = 45.0;
+    cgroup_charge_slow_prob = 0.006;
+    cgroup_charge_slow_hold = Dist.lognormal ~median:2.5e3 ~sigma:0.6;
+    block_latency = Dist.lognormal ~median:8e4 ~sigma:0.35 (* ~80 us SSD *);
+    block_bandwidth_ns_per_byte = 0.5 (* ~2 GB/s *);
+    block_queue_depth = 32;
+  }
+
+let quiet =
+  {
+    default with
+    enable_background = false;
+    enable_tlb_shootdown = false;
+    enable_cgroup_accounting = false;
+    enable_timer_noise = false;
+    tlb_ack_slow_prob = 0.0;
+    slab_refill_prob = 0.0;
+    cgroup_charge_slow_prob = 0.0;
+    cache_pressure_per_sharer = 0.0;
+  }
+
+let without_background t = { t with enable_background = false }
+let without_tlb_shootdown t = { t with enable_tlb_shootdown = false }
+let without_cgroup_accounting t = { t with enable_cgroup_accounting = false }
+let without_timer_noise t = { t with enable_timer_noise = false }

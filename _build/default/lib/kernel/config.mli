@@ -1,0 +1,71 @@
+(** Tunable parameters of the kernel model.
+
+    All times are nanoseconds of virtual time.  The defaults are
+    calibrated so that a 64-core shared instance under the syzgen corpus
+    reproduces the latency-bucket shape of the paper's Table 2 native
+    column; the ablation experiments (DESIGN.md E7) flip the [enable_*]
+    switches. *)
+
+type t = {
+  (* --- switches (ablations) ------------------------------------- *)
+  enable_background : bool;
+      (** journal commit, kswapd, load balancer, stat flusher daemons *)
+  enable_tlb_shootdown : bool;  (** cross-core TLB invalidation IPIs *)
+  enable_cgroup_accounting : bool;  (** memcg charge path for containers *)
+  enable_timer_noise : bool;  (** per-tick interruption of in-kernel work *)
+  (* --- fixed hardware-ish costs ---------------------------------- *)
+  syscall_entry_cost : float;  (** user->kernel transition *)
+  cpu_cost_factor : float;
+      (** dilation of all in-kernel CPU work (nested paging under
+          virtualisation); 1.0 natively *)
+  ipi_cost : float;  (** one inter-processor interrupt round trip *)
+  tick_period : float;  (** timer tick interval (HZ=1000 -> 1e6 ns) *)
+  tick_service_cost : Ksurf_util.Dist.t;  (** work stolen per tick *)
+  (* --- TLB shootdown --------------------------------------------- *)
+  tlb_ack_slow_prob : float;
+      (** probability a shootdown target is slow to acknowledge
+          (interrupts disabled / deep in the kernel) *)
+  tlb_ack_slow_cost : Ksurf_util.Dist.t;  (** extra wait for a slow ack *)
+  (* --- background daemons ---------------------------------------- *)
+  journal_commit_interval : Ksurf_util.Dist.t;
+  journal_commit_hold : Ksurf_util.Dist.t;
+      (** scaled by instance activity; collides with fs-mgmt calls *)
+  kswapd_interval : Ksurf_util.Dist.t;
+  kswapd_hold : Ksurf_util.Dist.t;  (** zone-lock hold during a scan pass *)
+  balancer_interval : Ksurf_util.Dist.t;
+  balancer_hold_per_core : Ksurf_util.Dist.t;
+      (** per-runqueue inspection time; total hold grows with cores *)
+  flusher_interval : Ksurf_util.Dist.t;
+  flusher_hold_per_cgroup : Ksurf_util.Dist.t;
+      (** cgroup stats flush; total hold grows with cgroup count *)
+  (* --- software caches -------------------------------------------- *)
+  dcache_hit_cost : float;
+  dcache_miss_cost : Ksurf_util.Dist.t;
+  page_cache_hit_cost : float;
+  page_cache_miss_cost : Ksurf_util.Dist.t;
+  slab_fast_cost : float;
+  slab_refill_cost : Ksurf_util.Dist.t;
+  slab_refill_prob : float;
+  cache_pressure_per_sharer : float;
+      (** hit-rate degradation per extra tenant sharing the instance *)
+  (* --- cgroup accounting ------------------------------------------ *)
+  cgroup_charge_fast_cost : float;
+  cgroup_charge_slow_prob : float;  (** per-charge chance of hitting css lock *)
+  cgroup_charge_slow_hold : Ksurf_util.Dist.t;
+  (* --- block device ------------------------------------------------ *)
+  block_latency : Ksurf_util.Dist.t;  (** per-request SSD latency *)
+  block_bandwidth_ns_per_byte : float;
+  block_queue_depth : int;
+}
+
+val default : t
+(** The calibrated configuration. *)
+
+val quiet : t
+(** All variability mechanisms off — useful as a test baseline where
+    latency should be (nearly) deterministic. *)
+
+val without_background : t -> t
+val without_tlb_shootdown : t -> t
+val without_cgroup_accounting : t -> t
+val without_timer_noise : t -> t

@@ -1,0 +1,4 @@
+let boot ~engine ?(config = Config.default) ~id ~cores ~mem_mb ?block_dev () =
+  let inst = Instance.boot ~engine ~config ~id ~cores ~mem_mb ?block_dev () in
+  Background.start inst;
+  inst

@@ -1,0 +1,13 @@
+(** Facade: boot a kernel instance with its background daemons. *)
+
+val boot :
+  engine:Ksurf_sim.Engine.t ->
+  ?config:Config.t ->
+  id:int ->
+  cores:int ->
+  mem_mb:int ->
+  ?block_dev:Ksurf_sim.Resource.t ->
+  unit ->
+  Instance.t
+(** {!Instance.boot} followed by {!Background.start}.  [config] defaults
+    to {!Config.default}. *)

@@ -1,0 +1,71 @@
+type lock_ref =
+  | Runqueue
+  | Tasklist
+  | Zone
+  | Page_cache_tree
+  | Dcache
+  | Inode
+  | Journal
+  | Pipe
+  | Msgq_registry
+  | Futex_bucket
+  | Cred
+  | Audit
+  | Cgroup_css
+
+type rw_ref = Mmap_sem | Sb_umount
+
+let lock_ref_name = function
+  | Runqueue -> "runqueue"
+  | Tasklist -> "tasklist"
+  | Zone -> "zone"
+  | Page_cache_tree -> "page_cache_tree"
+  | Dcache -> "dcache"
+  | Inode -> "inode"
+  | Journal -> "journal"
+  | Pipe -> "pipe"
+  | Msgq_registry -> "msgq_registry"
+  | Futex_bucket -> "futex_bucket"
+  | Cred -> "cred"
+  | Audit -> "audit"
+  | Cgroup_css -> "cgroup_css"
+
+let rw_ref_name = function Mmap_sem -> "mmap_sem" | Sb_umount -> "sb_umount"
+
+let global_lock_refs = [ Tasklist; Zone; Dcache; Journal; Msgq_registry; Audit; Cgroup_css ]
+
+type op =
+  | Cpu of float
+  | Cpu_dist of Ksurf_util.Dist.t
+  | Lock of lock_ref * Ksurf_util.Dist.t
+  | Read_lock of rw_ref * Ksurf_util.Dist.t
+  | Write_lock of rw_ref * Ksurf_util.Dist.t
+  | Dcache_lookup
+  | Page_cache_lookup
+  | Slab_alloc
+  | Page_alloc of int
+  | Tlb_shootdown
+  | Rcu_sync
+  | Block_io of { bytes : int; write : bool }
+  | Cgroup_charge
+  | Sleep of Ksurf_util.Dist.t
+
+let pp_op ppf = function
+  | Cpu ns -> Format.fprintf ppf "cpu(%.0fns)" ns
+  | Cpu_dist _ -> Format.fprintf ppf "cpu(dist)"
+  | Lock (l, _) -> Format.fprintf ppf "lock(%s)" (lock_ref_name l)
+  | Read_lock (l, _) -> Format.fprintf ppf "rdlock(%s)" (rw_ref_name l)
+  | Write_lock (l, _) -> Format.fprintf ppf "wrlock(%s)" (rw_ref_name l)
+  | Dcache_lookup -> Format.pp_print_string ppf "dcache_lookup"
+  | Page_cache_lookup -> Format.pp_print_string ppf "page_cache_lookup"
+  | Slab_alloc -> Format.pp_print_string ppf "slab_alloc"
+  | Page_alloc order -> Format.fprintf ppf "page_alloc(order=%d)" order
+  | Tlb_shootdown -> Format.pp_print_string ppf "tlb_shootdown"
+  | Rcu_sync -> Format.pp_print_string ppf "rcu_sync"
+  | Block_io { bytes; write } ->
+      Format.fprintf ppf "block_%s(%dB)" (if write then "write" else "read") bytes
+  | Cgroup_charge -> Format.pp_print_string ppf "cgroup_charge"
+  | Sleep _ -> Format.pp_print_string ppf "sleep"
+
+let total_fixed_cost ops =
+  List.fold_left (fun acc op -> match op with Cpu ns -> acc +. ns | _ -> acc) 0.0 ops

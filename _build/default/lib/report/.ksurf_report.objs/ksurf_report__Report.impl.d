@@ -1,0 +1,1 @@
+lib/report/report.ml: Float Format List Printf String

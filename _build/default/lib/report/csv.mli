@@ -1,0 +1,12 @@
+(** Minimal CSV writing (RFC-4180 quoting) for exporting experiment
+    results to plotting tools. *)
+
+val escape : string -> string
+(** Quote a field if it contains commas, quotes or newlines. *)
+
+val line : string list -> string
+(** One CSV record (no trailing newline). *)
+
+val write : path:string -> header:string list -> rows:string list list -> unit
+(** Write a whole file, header first.  Raises [Invalid_argument] if a
+    row's width differs from the header's. *)

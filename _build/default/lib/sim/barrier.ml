@@ -1,0 +1,34 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  parties : int;
+  mutable arrived : int;
+  mutable generation : int;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create ~engine ~name ~parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
+  { engine; name; parties; arrived = 0; generation = 0; waiters = Queue.create () }
+
+let generation t = t.generation
+let waiting t = t.arrived
+
+let arrive t =
+  ignore (Engine.now t.engine);
+  t.arrived <- t.arrived + 1;
+  if t.arrived < t.parties then Engine.suspend (fun wake -> Queue.push wake t.waiters)
+  else begin
+    (* Last arrival: release everyone, start a new generation. *)
+    t.arrived <- 0;
+    t.generation <- t.generation + 1;
+    Queue.iter (fun wake -> wake ()) t.waiters;
+    Queue.clear t.waiters
+  end
+
+let arrive_with_cost t ~per_party_cost =
+  arrive t;
+  if per_party_cost > 0.0 then
+    (* Dissemination-style barrier: log2(parties) network rounds. *)
+    let rounds = Float.log (float_of_int t.parties) /. Float.log 2.0 in
+    Engine.delay (per_party_cost *. Float.max 1.0 (Float.ceil rounds))

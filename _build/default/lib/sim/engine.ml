@@ -1,0 +1,111 @@
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  heap : (unit -> unit) Heap.t;
+  root_rng : Ksurf_util.Prng.t;
+  mutable executed : int;
+}
+
+exception Process_error of string * exn
+
+type _ Effect.t +=
+  | Delay : t * float -> unit Effect.t
+  | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+
+(* The engine whose handler is currently executing a process.  Effects
+   carry the engine explicitly so nested engines (e.g. per-node cluster
+   simulations driven from a parent program) never interfere; the
+   ambient reference only serves the argumentless [delay]/[suspend]
+   public API. *)
+let current : t option ref = ref None
+
+let create ?(seed = 0) () =
+  { now = 0.0; seq = 0; heap = Heap.create (); root_rng = Ksurf_util.Prng.create seed; executed = 0 }
+
+let now t = t.now
+let rng t = t.root_rng
+let pending t = Heap.size t.heap
+let events_executed t = t.executed
+
+let schedule t ~at thunk =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before now %g" at t.now);
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~time:at ~seq:t.seq thunk
+
+let handle t f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun exn ->
+          raise (Process_error (Printf.sprintf "at t=%g" t.now, exn)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (eng, d) when eng == t ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule t ~at:(t.now +. d) (fun () -> continue k ()))
+          | Suspend (eng, register) when eng == t ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let woken = ref false in
+                  let wake () =
+                    if !woken then failwith "Engine: process woken twice";
+                    woken := true;
+                    schedule t ~at:t.now (fun () -> continue k ())
+                  in
+                  register wake)
+          | _ -> None);
+    }
+
+let spawn ?at t f =
+  let at = match at with Some a -> a | None -> t.now in
+  schedule t ~at (fun () -> handle t f)
+
+let engine_of_process name =
+  match !current with
+  | Some t -> t
+  | None -> failwith (name ^ ": called outside of a simulation process")
+
+let delay d =
+  if d < 0.0 then invalid_arg "Engine.delay: negative";
+  if d = 0.0 then ()
+  else begin
+    let t = engine_of_process "Engine.delay" in
+    Effect.perform (Delay (t, d))
+  end
+
+let suspend register =
+  let t = engine_of_process "Engine.suspend" in
+  Effect.perform (Suspend (t, register))
+
+let run ?until ?stop t =
+  let saved = !current in
+  current := Some t;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      let continue = ref true in
+      while !continue do
+        if (match stop with Some f -> f () | None -> false) then continue := false
+        else
+          match Heap.peek_time t.heap with
+          | None -> continue := false
+          | Some time when (match until with Some u -> time > u | None -> false)
+            ->
+              continue := false
+          | Some _ -> (
+              match Heap.pop t.heap with
+              | None -> continue := false
+              | Some (time, thunk) ->
+                  t.now <- time;
+                  t.executed <- t.executed + 1;
+                  thunk ())
+      done;
+      match until with
+      | Some u when u > t.now && Heap.is_empty t.heap -> t.now <- u
+      | _ -> ())

@@ -1,0 +1,56 @@
+(** The discrete-event simulation engine.
+
+    Processes are ordinary OCaml functions executed under an effect
+    handler.  Inside a process, {!delay} advances virtual time and
+    {!suspend} parks the process until an external wake; everything else
+    is plain code.  The engine is single-domain and fully deterministic:
+    events at equal times fire in creation order, and all randomness
+    flows through the engine's {!Ksurf_util.Prng.t} streams.
+
+    Typical use:
+    {[
+      let eng = Engine.create ~seed:42 () in
+      Engine.spawn eng (fun () ->
+        Engine.delay 100.0;
+        Format.printf "woke at %f@." (Engine.now eng));
+      Engine.run eng
+    ]} *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine at virtual time 0 (nanoseconds by ksurf convention). *)
+
+val now : t -> float
+val rng : t -> Ksurf_util.Prng.t
+(** The engine's root random stream; components should [Prng.split] it. *)
+
+val spawn : ?at:float -> t -> (unit -> unit) -> unit
+(** Schedule a new process.  [at] defaults to the current time and must
+    not be in the past. *)
+
+val delay : float -> unit
+(** Advance the calling process's virtual time.  Negative delays raise.
+    Must be called from inside a process. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the calling process and hands [register] a
+    wake function.  Calling the wake function reschedules the process at
+    the then-current virtual time; waking twice raises [Failure]. *)
+
+val run : ?until:float -> ?stop:(unit -> bool) -> t -> unit
+(** Drain the event queue (or stop once the next event is later than
+    [until]).  [stop] is polled before each event: returning [true]
+    halts the run — the way harnesses terminate measurement while
+    infinite background daemons still hold queued events.  May be called
+    repeatedly as more work is spawned. *)
+
+val pending : t -> int
+(** Number of queued events, for diagnostics and tests. *)
+
+val events_executed : t -> int
+(** Total events fired since creation. *)
+
+exception Process_error of string * exn
+(** Wraps an exception escaping a process with a description of when it
+    fired. *)

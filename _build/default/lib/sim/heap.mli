@@ -1,0 +1,18 @@
+(** Binary min-heap of timestamped events.
+
+    Ordering is (time, sequence number): two events at the same virtual
+    time fire in insertion order, which makes whole-simulation execution
+    deterministic (DESIGN.md §6). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,70 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  mutable held : bool;
+  mutable acquired_at : float;
+  waiters : (unit -> unit) Queue.t;
+  wait_stats : Ksurf_util.Welford.t;
+  hold_stats : Ksurf_util.Welford.t;
+  mutable acquisitions : int;
+  mutable contended : int;
+}
+
+let create ~engine ~name =
+  {
+    engine;
+    name;
+    held = false;
+    acquired_at = 0.0;
+    waiters = Queue.create ();
+    wait_stats = Ksurf_util.Welford.create ();
+    hold_stats = Ksurf_util.Welford.create ();
+    acquisitions = 0;
+    contended = 0;
+  }
+
+let held t = t.held
+let queue_length t = Queue.length t.waiters
+let name t = t.name
+let acquisitions t = t.acquisitions
+let contended_acquisitions t = t.contended
+let wait_stats t = t.wait_stats
+let hold_stats t = t.hold_stats
+
+let acquire t =
+  let start = Engine.now t.engine in
+  if not t.held then t.held <- true
+  else begin
+    t.contended <- t.contended + 1;
+    Engine.suspend (fun wake -> Queue.push wake t.waiters)
+    (* On resume the releaser has transferred ownership to us:
+       [t.held] is still true and we are the owner. *)
+  end;
+  t.acquisitions <- t.acquisitions + 1;
+  t.acquired_at <- Engine.now t.engine;
+  Ksurf_util.Welford.add t.wait_stats (Engine.now t.engine -. start)
+
+let release t =
+  if not t.held then failwith (Printf.sprintf "Lock.release: %s not held" t.name);
+  Ksurf_util.Welford.add t.hold_stats (Engine.now t.engine -. t.acquired_at);
+  match Queue.take_opt t.waiters with
+  | Some wake ->
+      (* Ownership transfer: the lock stays held for the waiter. *)
+      t.acquired_at <- Engine.now t.engine;
+      wake ()
+  | None -> t.held <- false
+
+let with_hold t d =
+  acquire t;
+  Engine.delay d;
+  release t
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception exn ->
+      release t;
+      raise exn

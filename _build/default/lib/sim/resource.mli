@@ -1,0 +1,22 @@
+(** Capacity-[n] queueing station.
+
+    Generalises {!Lock} to [n] concurrent holders.  Models block-device
+    queues, memory channels, and the host-side virtio service threads:
+    anything where up to [n] requests proceed in parallel and the rest
+    queue FIFO. *)
+
+type t
+
+val create : engine:Engine.t -> name:string -> capacity:int -> t
+(** Raises [Invalid_argument] if capacity < 1. *)
+
+val acquire : t -> unit
+val release : t -> unit
+val serve : t -> float -> unit
+(** [serve r d] acquires a slot, holds it for [d] ns, releases. *)
+
+val in_use : t -> int
+val capacity : t -> int
+val queue_length : t -> int
+val wait_stats : t -> Ksurf_util.Welford.t
+val served : t -> int

@@ -1,0 +1,25 @@
+(** Reader-writer lock (writer-preferring, FIFO within each class).
+
+    Models structures like [mmap_sem]: page faults take it for reading
+    concurrently, while [mmap]/[munmap]/[mprotect] take it for writing
+    and exclude everyone — the mechanism behind memory-management
+    variability spikes in the kernel model. *)
+
+type t
+
+val create : engine:Engine.t -> name:string -> t
+
+val acquire_read : t -> unit
+val release_read : t -> unit
+val acquire_write : t -> unit
+val release_write : t -> unit
+
+val with_read : t -> float -> unit
+(** Hold for reading for a fixed duration. *)
+
+val with_write : t -> float -> unit
+(** Hold for writing for a fixed duration. *)
+
+val readers : t -> int
+val writer_held : t -> bool
+val wait_stats : t -> Ksurf_util.Welford.t

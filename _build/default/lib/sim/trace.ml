@@ -1,0 +1,37 @@
+type t = {
+  engine : Engine.t;
+  ring : (float * string) array;
+  mutable head : int;  (* next write position *)
+  mutable recorded : int;
+}
+
+let create ?(capacity = 4096) ~engine () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { engine; ring = Array.make capacity (0.0, ""); head = 0; recorded = 0 }
+
+let record t label =
+  t.ring.(t.head) <- (Engine.now t.engine, label);
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  t.recorded <- t.recorded + 1
+
+let recordf t fmt = Format.kasprintf (record t) fmt
+
+let retained t = min t.recorded (Array.length t.ring)
+
+let events t =
+  let n = retained t in
+  let cap = Array.length t.ring in
+  let start = (t.head - n + cap + cap) mod cap in
+  List.init n (fun i -> t.ring.((start + i) mod cap))
+
+let recorded t = t.recorded
+let dropped t = t.recorded - retained t
+
+let clear t =
+  t.head <- 0;
+  t.recorded <- 0
+
+let pp ppf t =
+  List.iter
+    (fun (time, label) -> Format.fprintf ppf "[%12.1f] %s@." time label)
+    (events t)

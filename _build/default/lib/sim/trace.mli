@@ -1,0 +1,31 @@
+(** Bounded event tracing for simulations.
+
+    A fixed-capacity ring of timestamped labels: cheap enough to leave
+    on in long runs, and the first tool to reach for when a simulation
+    deadlocks or produces a surprising tail — trace the lock sites
+    around the anomaly and dump the ring. *)
+
+type t
+
+val create : ?capacity:int -> engine:Engine.t -> unit -> t
+(** Default capacity 4096 events.  Raises [Invalid_argument] if
+    capacity < 1. *)
+
+val record : t -> string -> unit
+(** Stamp the label with the current virtual time.  When full, the
+    oldest event is dropped. *)
+
+val recordf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted {!record}. *)
+
+val events : t -> (float * string) list
+(** Retained events, oldest first. *)
+
+val recorded : t -> int
+(** Total events ever recorded (including dropped ones). *)
+
+val dropped : t -> int
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One "[time] label" line per retained event. *)

@@ -1,0 +1,1 @@
+lib/stats/buckets.ml: Array Format

@@ -1,0 +1,1 @@
+lib/stats/kde.ml: Array Float Ksurf_util List Quantile

@@ -1,0 +1,1 @@
+lib/stats/violin.ml: Array Buffer Float Format Kde List Printf Quantile String

@@ -1,0 +1,34 @@
+type row = {
+  le_1us : float;
+  le_10us : float;
+  le_100us : float;
+  le_1ms : float;
+  le_10ms : float;
+  gt_10ms : float;
+}
+
+let edges_ns = [| 1e3; 1e4; 1e5; 1e6; 1e7 |]
+
+let of_latencies latencies =
+  let n = Array.length latencies in
+  if n = 0 then invalid_arg "Buckets.of_latencies: empty";
+  let counts = Array.make (Array.length edges_ns) 0 in
+  Array.iter
+    (fun v ->
+      Array.iteri (fun i edge -> if v < edge then counts.(i) <- counts.(i) + 1) edges_ns)
+    latencies;
+  let pct c = 100.0 *. float_of_int c /. float_of_int n in
+  {
+    le_1us = pct counts.(0);
+    le_10us = pct counts.(1);
+    le_100us = pct counts.(2);
+    le_1ms = pct counts.(3);
+    le_10ms = pct counts.(4);
+    gt_10ms = 100.0 -. pct counts.(4);
+  }
+
+let header = "    1us   10us  100us    1ms   10ms  >10ms"
+
+let pp ppf r =
+  Format.fprintf ppf "%6.2f %6.2f %6.2f %6.2f %6.2f %6.2f" r.le_1us r.le_10us
+    r.le_100us r.le_1ms r.le_10ms r.gt_10ms

@@ -1,0 +1,30 @@
+(** The paper's latency discretisation (Tables 2 and 3).
+
+    Tables 2/3 report, for a chosen statistic of each unique system call
+    (median, 99th percentile, or max), the {e cumulative} percentage of
+    system calls whose statistic falls below 1µs, 10µs, 100µs, 1ms and
+    10ms, plus the residual above 10ms.  Latencies here are nanoseconds,
+    matching the rest of ksurf. *)
+
+type row = {
+  le_1us : float;
+  le_10us : float;
+  le_100us : float;
+  le_1ms : float;
+  le_10ms : float;
+  gt_10ms : float;
+}
+(** Cumulative percentages (0–100). *)
+
+val edges_ns : float array
+(** [| 1e3; 1e4; 1e5; 1e6; 1e7 |] — bucket edges in nanoseconds. *)
+
+val of_latencies : float array -> row
+(** Classify one statistic per system call into the cumulative row.
+    Raises [Invalid_argument] on empty input. *)
+
+val pp : Format.formatter -> row -> unit
+(** Prints the six columns in the paper's format (two decimals). *)
+
+val header : string
+(** Column header matching {!pp}. *)

@@ -1,0 +1,69 @@
+type scale = Linear | Log
+
+type t = {
+  scale : scale;
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable total : int;
+}
+
+let create_linear ~lo ~hi ~bins =
+  if bins <= 0 || hi <= lo then invalid_arg "Histogram.create_linear";
+  { scale = Linear; lo; hi; bins = Array.make bins 0; total = 0 }
+
+let create_log ~lo ~hi ~bins =
+  if bins <= 0 || hi <= lo || lo <= 0.0 then invalid_arg "Histogram.create_log";
+  { scale = Log; lo; hi; bins = Array.make bins 0; total = 0 }
+
+let bin_count t = Array.length t.bins
+let count t = t.total
+
+let position t v =
+  match t.scale with
+  | Linear -> (v -. t.lo) /. (t.hi -. t.lo)
+  | Log ->
+      if v <= 0.0 then 0.0
+      else Float.log (v /. t.lo) /. Float.log (t.hi /. t.lo)
+
+let bin_of t v =
+  let pos = position t v in
+  let i = int_of_float (pos *. float_of_int (bin_count t)) in
+  if i < 0 then 0 else if i >= bin_count t then bin_count t - 1 else i
+
+let add t v =
+  let i = bin_of t v in
+  t.bins.(i) <- t.bins.(i) + 1;
+  t.total <- t.total + 1
+
+let edge t frac =
+  match t.scale with
+  | Linear -> t.lo +. (frac *. (t.hi -. t.lo))
+  | Log -> t.lo *. Float.pow (t.hi /. t.lo) frac
+
+let bin_lo t i = edge t (float_of_int i /. float_of_int (bin_count t))
+let bin_hi t i = edge t (float_of_int (i + 1) /. float_of_int (bin_count t))
+let bin_value t i = t.bins.(i)
+
+let densities t =
+  if t.total = 0 then Array.make (bin_count t) 0.0
+  else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.bins
+
+let mode_bin t =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.bins.(!best) then best := i) t.bins;
+  !best
+
+let spark_chars = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let pp ppf t =
+  let dens = densities t in
+  let peak = Array.fold_left Float.max 0.0 dens in
+  let render d =
+    if peak <= 0.0 then ' '
+    else begin
+      let idx = int_of_float (d /. peak *. 9.0) in
+      spark_chars.(if idx > 9 then 9 else idx)
+    end
+  in
+  Format.fprintf ppf "[%s] n=%d" (String.init (bin_count t) (fun i -> render dens.(i))) t.total

@@ -1,0 +1,33 @@
+(** Fixed-bin and logarithmic histograms.
+
+    Log-spaced histograms are the natural shape for system-call latencies,
+    which span six orders of magnitude (100ns … 100ms). *)
+
+type t
+
+val create_linear : lo:float -> hi:float -> bins:int -> t
+(** Linear bins over \[lo, hi); out-of-range samples land in the edge
+    bins.  Raises [Invalid_argument] on bad parameters. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** Log-spaced bins over \[lo, hi), [lo > 0]. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bin_count : t -> int
+val bin_of : t -> float -> int
+(** Index of the bin a value falls into (clamped to the edges). *)
+
+val bin_lo : t -> int -> float
+val bin_hi : t -> int -> float
+val bin_value : t -> int -> int
+(** Number of samples in bin [i]. *)
+
+val densities : t -> float array
+(** Per-bin fraction of total samples (sums to 1 when non-empty). *)
+
+val mode_bin : t -> int
+(** Index of the fullest bin; 0 when empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** A compact sparkline-style dump, for logs and examples. *)

@@ -1,0 +1,1 @@
+lib/syscalls/arg.ml: Array Format Ksurf_util Printf String

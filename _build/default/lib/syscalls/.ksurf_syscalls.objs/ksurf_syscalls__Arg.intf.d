@@ -1,0 +1,1 @@
+lib/syscalls/arg.mli: Format Ksurf_util

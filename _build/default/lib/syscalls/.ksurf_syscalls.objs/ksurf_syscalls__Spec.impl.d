@@ -1,0 +1,1 @@
+lib/syscalls/spec.ml: Arg Format Ksurf_kernel List String

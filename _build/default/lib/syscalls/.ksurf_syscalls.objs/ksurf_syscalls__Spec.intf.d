@@ -1,0 +1,1 @@
+lib/syscalls/spec.mli: Arg Format Ksurf_kernel

@@ -1,0 +1,1 @@
+lib/syscalls/syscalls.ml: Array Hashtbl List Spec String Table

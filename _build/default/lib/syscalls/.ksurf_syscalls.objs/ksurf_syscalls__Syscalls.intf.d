@@ -1,0 +1,1 @@
+lib/syscalls/syscalls.mli: Ksurf_kernel Spec

@@ -1,0 +1,1 @@
+lib/syscalls/table.ml: Arg Ksurf_kernel Ksurf_util List Spec

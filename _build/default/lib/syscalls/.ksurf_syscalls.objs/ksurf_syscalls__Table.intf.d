@@ -1,0 +1,1 @@
+lib/syscalls/table.mli: Spec

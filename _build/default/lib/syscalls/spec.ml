@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  number : int;
+  categories : Ksurf_kernel.Category.t list;
+  doc : string;
+  arg_model : Arg.model;
+  ops : Arg.t -> Ksurf_kernel.Ops.op list;
+}
+
+let make ~name ~number ~categories ~doc ?(arg_model = Arg.no_args) ops =
+  if name = "" then invalid_arg "Spec.make: empty name";
+  if categories = [] then invalid_arg "Spec.make: no categories";
+  { name; number; categories; doc; arg_model; ops }
+
+let in_category t cat =
+  List.exists (fun c -> Ksurf_kernel.Category.equal c cat) t.categories
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%d) [%s] — %s" t.name t.number
+    (String.concat "," (List.map Ksurf_kernel.Category.to_string t.categories))
+    t.doc

@@ -1,0 +1,25 @@
+(** One modeled system call. *)
+
+type t = {
+  name : string;
+  number : int;  (** x86_64 syscall number (for realism in dumps) *)
+  categories : Ksurf_kernel.Category.t list;  (** §5 categories, >= 1 *)
+  doc : string;  (** man-page-style one-liner *)
+  arg_model : Arg.model;
+  ops : Arg.t -> Ksurf_kernel.Ops.op list;
+      (** the kernel-op program the call executes for given arguments *)
+}
+
+val make :
+  name:string ->
+  number:int ->
+  categories:Ksurf_kernel.Category.t list ->
+  doc:string ->
+  ?arg_model:Arg.model ->
+  (Arg.t -> Ksurf_kernel.Ops.op list) ->
+  t
+(** [arg_model] defaults to {!Arg.no_args}.  Raises [Invalid_argument]
+    on an empty category list or empty name. *)
+
+val in_category : t -> Ksurf_kernel.Category.t -> bool
+val pp : Format.formatter -> t -> unit

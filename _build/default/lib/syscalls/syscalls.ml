@@ -1,0 +1,29 @@
+let all =
+  let arr = Array.of_list Table.specs in
+  Array.sort (fun a b -> String.compare a.Spec.name b.Spec.name) arr;
+  arr
+
+let count = Array.length all
+
+let name_index =
+  let tbl = Hashtbl.create (2 * count) in
+  Array.iter
+    (fun s ->
+      if Hashtbl.mem tbl s.Spec.name then
+        invalid_arg ("Syscalls: duplicate syscall name " ^ s.Spec.name);
+      Hashtbl.add tbl s.Spec.name s)
+    all;
+  tbl
+
+let number_index =
+  let tbl = Hashtbl.create (2 * count) in
+  Array.iter (fun s -> Hashtbl.replace tbl s.Spec.number s) all;
+  tbl
+
+let by_name name = Hashtbl.find_opt name_index name
+let by_number n = Hashtbl.find_opt number_index n
+
+let in_category cat =
+  Array.to_list all |> List.filter (fun s -> Spec.in_category s cat)
+
+let names () = Array.to_list (Array.map (fun s -> s.Spec.name) all)

@@ -1,0 +1,14 @@
+(** Lookup and iteration over the modeled system-call table. *)
+
+val all : Spec.t array
+(** All modeled calls, sorted by name.  Do not mutate. *)
+
+val count : int
+val by_name : string -> Spec.t option
+val by_number : int -> Spec.t option
+
+val in_category : Ksurf_kernel.Category.t -> Spec.t list
+(** Calls belonging to a category (multi-category calls appear in each
+    of their categories, as in the paper's Figure 2 grouping). *)
+
+val names : unit -> string list

@@ -1,0 +1,6 @@
+(** The modeled system-call table (data module).
+
+    Use {!Syscalls} for lookup; this module only exposes the raw list. *)
+
+val specs : Spec.t list
+(** Every modeled call.  Names are unique; see {!Syscalls.by_name}. *)

@@ -1,0 +1,1 @@
+lib/syzgen/corpus.ml: Array Coverage Format Fun Ksurf_kernel Ksurf_syscalls List Printf Program String

@@ -1,0 +1,1 @@
+lib/syzgen/corpus.mli: Coverage Format Ksurf_kernel Program

@@ -1,0 +1,1 @@
+lib/syzgen/coverage.ml: Array Int Ksurf_kernel Ksurf_syscalls Ksurf_util List Program Stdlib

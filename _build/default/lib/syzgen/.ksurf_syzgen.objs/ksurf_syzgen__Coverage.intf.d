@@ -1,0 +1,1 @@
+lib/syzgen/coverage.mli: Ksurf_syscalls Program

@@ -1,0 +1,1 @@
+lib/syzgen/generator.ml: Corpus Coverage Ksurf_util List Mutate Program

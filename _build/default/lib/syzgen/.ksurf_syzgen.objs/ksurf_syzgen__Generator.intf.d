@@ -1,0 +1,1 @@
+lib/syzgen/generator.mli: Corpus Coverage Program

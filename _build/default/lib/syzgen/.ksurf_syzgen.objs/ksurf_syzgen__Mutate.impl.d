@@ -1,0 +1,1 @@
+lib/syzgen/mutate.ml: Array Ksurf_syscalls Ksurf_util List Program

@@ -1,0 +1,1 @@
+lib/syzgen/mutate.mli: Ksurf_util Program

@@ -1,0 +1,1 @@
+lib/syzgen/program.ml: Format Ksurf_syscalls Ksurf_util List Printf String

@@ -1,0 +1,1 @@
+lib/syzgen/program.mli: Format Ksurf_syscalls Ksurf_util

@@ -1,0 +1,1 @@
+lib/tailbench/apps.ml: Ksurf_syscalls Ksurf_util List String

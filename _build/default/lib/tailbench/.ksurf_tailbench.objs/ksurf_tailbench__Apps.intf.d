@@ -1,0 +1,1 @@
+lib/tailbench/apps.mli: Ksurf_util

@@ -1,0 +1,1 @@
+lib/tailbench/runner.ml: Apps Array Float Ksurf_env Ksurf_sim Ksurf_stats Ksurf_syzgen Ksurf_util Ksurf_varbench List Printf Service

@@ -1,0 +1,1 @@
+lib/tailbench/runner.mli: Apps Ksurf_env Ksurf_syzgen

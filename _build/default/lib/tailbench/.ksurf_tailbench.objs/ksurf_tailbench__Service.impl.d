@@ -1,0 +1,1 @@
+lib/tailbench/service.ml: Apps Array Ksurf_env Ksurf_sim Ksurf_syscalls Ksurf_util List Printf

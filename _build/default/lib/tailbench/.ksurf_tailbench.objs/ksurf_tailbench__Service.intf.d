@@ -1,0 +1,1 @@
+lib/tailbench/service.mli: Apps Ksurf_env Ksurf_util

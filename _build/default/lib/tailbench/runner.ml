@@ -1,0 +1,131 @@
+module Engine = Ksurf_sim.Engine
+module Env = Ksurf_env.Env
+module Machine = Ksurf_env.Machine
+module Partition = Ksurf_env.Partition
+module Mailbox = Ksurf_sim.Mailbox
+module Prng = Ksurf_util.Prng
+module Quantile = Ksurf_stats.Quantile
+module Samples = Ksurf_varbench.Samples
+module Noise = Ksurf_varbench.Noise
+
+type config = {
+  requests : int;
+  warmup_fraction : float;
+  seed : int;
+  util_target : float;
+  units : int;
+  unit_cores : int;
+  unit_mem_mb : int;
+  machine : Machine.t;
+}
+
+let default_config =
+  {
+    requests = 4_000;
+    warmup_fraction = 0.2;
+    seed = 42;
+    util_target = 0.65;
+    units = 4;
+    unit_cores = 16;
+    unit_mem_mb = 8192;
+    machine = Machine.epyc;
+  }
+
+type result = {
+  app_name : string;
+  kind : string;
+  contended : bool;
+  count : int;
+  mean : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+  wall_ns : float;
+}
+
+let run_single_node ~app ~kind ~contended ?(config = default_config)
+    ?noise_corpus () =
+  let compiled = Service.compile app in
+  let engine = Engine.create ~seed:config.seed () in
+  let partition =
+    Partition.equal_split ~units:config.units
+      ~total_cores:(config.units * config.unit_cores)
+      ~total_mem_mb:(config.units * config.unit_mem_mb)
+  in
+  let env = Env.deploy ~engine ~machine:config.machine kind partition in
+  (* Unit 0 hosts the application; the rest host noise when contended. *)
+  let workers = List.init config.unit_cores (fun i -> i) in
+  let noise_ranks =
+    List.init
+      (Env.rank_count env - config.unit_cores)
+      (fun i -> config.unit_cores + i)
+  in
+  if contended then begin
+    let corpus =
+      match noise_corpus with
+      | Some c -> c
+      | None -> (Ksurf_syzgen.Generator.run ()).Ksurf_syzgen.Generator.corpus
+    in
+    Noise.start ~env ~corpus ~ranks:noise_ranks ()
+  end;
+  (* Open-loop client at a fixed rate derived from the native service
+     estimate: identical across environments. *)
+  let mean_service = Service.estimate_native_service compiled in
+  let rate =
+    config.util_target *. float_of_int config.unit_cores /. mean_service
+  in
+  let mailbox = Mailbox.create ~engine ~name:(app.Apps.name ^ ".reqs") in
+  let latencies = Samples.create () in
+  let completed = ref 0 in
+  List.iter
+    (fun rank ->
+      let rng = Prng.split (Engine.rng engine) (Printf.sprintf "worker-%d" rank) in
+      Engine.spawn engine (fun () ->
+          let rec serve () =
+            let arrival = Mailbox.recv mailbox in
+            (* Residual hardware interference from the co-runners.  The
+               paper's VM setup allocates each VM's memory from a single
+               memory channel, so cross-VM bandwidth interference is
+               lower than between containers sharing all channels. *)
+            let hw_dilation =
+              if not contended then 1.0
+              else
+                match kind with
+                | Env.Kvm _ -> 1.005 +. Prng.float rng 0.01
+                | Env.Native | Env.Docker -> 1.01 +. Prng.float rng 0.03
+            in
+            Service.handle compiled ~env ~rank ~rng ~hw_dilation ();
+            Samples.add latencies (Engine.now engine -. arrival);
+            incr completed;
+            serve ()
+          in
+          serve ()))
+    workers;
+  let client_rng = Prng.split (Engine.rng engine) "client" in
+  Engine.spawn engine (fun () ->
+      for _ = 1 to config.requests do
+        let gap = -.Float.log (1.0 -. Prng.uniform client_rng) /. rate in
+        Engine.delay gap;
+        Mailbox.send mailbox (Engine.now engine)
+      done);
+  let t0 = Engine.now engine in
+  Engine.run ~stop:(fun () -> !completed >= config.requests) engine;
+  let wall_ns = Engine.now engine -. t0 in
+  let all = Samples.to_array latencies in
+  let skip = int_of_float (float_of_int (Array.length all) *. config.warmup_fraction) in
+  let measured = Array.sub all skip (Array.length all - skip) in
+  let s = Quantile.summarize measured in
+  {
+    app_name = app.Apps.name;
+    kind = Env.kind_name kind;
+    contended;
+    count = s.Quantile.count;
+    mean = s.Quantile.mean;
+    p95 = s.Quantile.p95;
+    p99 = s.Quantile.p99;
+    max = s.Quantile.max;
+    wall_ns;
+  }
+
+let percent_increase ~isolated ~contended =
+  100.0 *. (contended.p99 -. isolated.p99) /. isolated.p99

@@ -1,0 +1,53 @@
+(** Single-node tail-latency experiments (§6.2 / Figure 3).
+
+    Layout mirrors the paper: four isolation units of 16 cores and 8 GB
+    on the EPYC machine.  Unit 0 runs one tailbench application with an
+    open-loop client over loopback; units 1–3 run a 48-rank varbench
+    noise workload when the run is {e contended}.  The client rate is
+    set from the app's {e native} service estimate for ~72%% worker
+    utilisation and kept identical across environments, so environments
+    that inflate service times absorb the extra load as queueing — the
+    paper's fixed-rate configuration. *)
+
+type config = {
+  requests : int;  (** completed requests to measure *)
+  warmup_fraction : float;  (** leading fraction of latencies discarded *)
+  seed : int;
+  util_target : float;
+  units : int;
+  unit_cores : int;
+  unit_mem_mb : int;
+  machine : Ksurf_env.Machine.t;
+}
+
+val default_config : config
+(** 4000 requests, 20%% warm-up, seed 42, util 0.65, 4 x (16 cores, 8 GB)
+    on {!Ksurf_env.Machine.epyc}. *)
+
+type result = {
+  app_name : string;
+  kind : string;
+  contended : bool;
+  count : int;  (** measured requests *)
+  mean : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+  wall_ns : float;  (** virtual time span of the measured phase *)
+}
+
+val run_single_node :
+  app:Apps.t ->
+  kind:Ksurf_env.Env.kind ->
+  contended:bool ->
+  ?config:config ->
+  ?noise_corpus:Ksurf_syzgen.Corpus.t ->
+  unit ->
+  result
+(** One cell of Figure 3.  [noise_corpus] defaults to a freshly
+    generated corpus (pass one in to share across cells).  Deterministic
+    for a given seed. *)
+
+val percent_increase : isolated:result -> contended:result -> float
+(** Figure 3(c): p99 increase from the isolated to the contended run,
+    in percent. *)

@@ -1,0 +1,94 @@
+module Engine = Ksurf_sim.Engine
+module Env = Ksurf_env.Env
+module Dist = Ksurf_util.Dist
+module Prng = Ksurf_util.Prng
+module Spec = Ksurf_syscalls.Spec
+module Arg = Ksurf_syscalls.Arg
+module Syscalls = Ksurf_syscalls.Syscalls
+
+type weighted_call = { cumulative : float; spec : Spec.t }
+
+type compiled = {
+  app : Apps.t;
+  calls : weighted_call array;  (** mix with cumulative weights *)
+  io : (Spec.t * Arg.t) list;
+  recv : Spec.t;
+  send : Spec.t;
+}
+
+let resolve name =
+  match Syscalls.by_name name with
+  | Some spec -> spec
+  | None -> invalid_arg (Printf.sprintf "Service.compile: unknown syscall %s" name)
+
+let compile (app : Apps.t) =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 app.Apps.mix in
+  if total <= 0.0 then invalid_arg "Service.compile: empty mix";
+  let acc = ref 0.0 in
+  let calls =
+    List.map
+      (fun (w, name) ->
+        acc := !acc +. (w /. total);
+        { cumulative = !acc; spec = resolve name })
+      app.Apps.mix
+    |> Array.of_list
+  in
+  calls.(Array.length calls - 1) <- { (calls.(Array.length calls - 1)) with cumulative = 1.0 };
+  let io =
+    List.map
+      (fun (name, size) ->
+        (resolve name, { Arg.size; obj = 0; flags = 0 }))
+      app.Apps.io_calls
+  in
+  { app; calls; io; recv = resolve "recvfrom"; send = resolve "sendto" }
+
+let app t = t.app
+
+let pick_call t rng =
+  let u = Prng.uniform rng in
+  let rec find i =
+    if i >= Array.length t.calls - 1 || u < t.calls.(i).cumulative then
+      t.calls.(i).spec
+    else find (i + 1)
+  in
+  find 0
+
+let softnet_delay = Dist.lognormal ~median:25_000.0 ~sigma:0.9
+
+let handle t ~env ~rank ~rng ?(hw_dilation = 1.0) () =
+  let app = t.app in
+  let penalty =
+    match Env.kind env with
+    | Env.Kvm _ -> app.Apps.virt_cpu_penalty
+    | Env.Native | Env.Docker -> 1.0
+  in
+  let cpu = Dist.sample app.Apps.service_cpu rng *. penalty *. hw_dilation in
+  let issue spec size_override =
+    let arg = Arg.generate spec.Spec.arg_model rng in
+    let arg = match size_override with None -> arg | Some size -> { arg with Arg.size } in
+    (* Give each worker its own object neighbourhood so app file/futex
+       objects are distinct from the noise generators'. *)
+    let arg = { arg with Arg.obj = (arg.Arg.obj + (rank * 3)) mod 64 } in
+    ignore (Env.exec_syscall env ~rank spec arg)
+  in
+  (* Loopback delivery rides the shared kernel's softirq processing:
+     on a busy kernel the reply to the socket wait is delayed behind
+     whatever net_rx work is queued.  Bounded inside a quiet guest. *)
+  let softirq_delay =
+    Env.busy_of_rank env rank *. Dist.sample softnet_delay rng
+  in
+  if softirq_delay > 0.0 then Engine.delay softirq_delay;
+  issue t.recv (Some 512);
+  (* First half of the compute, then the kernel-call mix interleaved
+     with the rest: requests alternate user and kernel time. *)
+  Engine.delay (cpu *. 0.5);
+  let n = app.Apps.calls_per_request in
+  let per_gap = cpu *. 0.5 /. float_of_int (max 1 n) in
+  for _ = 1 to n do
+    issue (pick_call t rng) None;
+    Engine.delay per_gap
+  done;
+  List.iter (fun (spec, (arg : Arg.t)) -> issue spec (Some arg.Arg.size)) t.io;
+  issue t.send (Some 512)
+
+let estimate_native_service t = Apps.mean_service_estimate t.app

@@ -1,0 +1,34 @@
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+(* Keep 62 bits: Int64.to_int truncates to the native 63-bit int, so a
+   1-bit shift could still produce a negative value. *)
+let fold_int64 h = Int64.to_int (Int64.shift_right_logical h 2)
+
+let string s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  fold_int64 !h
+
+let step h byte =
+  Int64.mul (Int64.logxor h (Int64.of_int (byte land 0xff))) fnv_prime
+
+let int64_of_int i = Int64.of_int i
+
+let combine a b =
+  let h = ref fnv_offset in
+  let feed v =
+    let v = int64_of_int v in
+    for shift = 0 to 7 do
+      h := step !h (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+    done
+  in
+  feed a;
+  feed b;
+  fold_int64 !h
+
+let ints l = List.fold_left combine (string "ksurf") l

@@ -1,0 +1,15 @@
+(** Stable, portable hashing for deterministic derived identifiers.
+
+    The coverage model ({!Ksurf_syzgen.Coverage}) maps (syscall, argument
+    bucket, state) tuples to basic-block identifiers via hashing; those ids
+    must be identical across runs and platforms, so we avoid
+    [Hashtbl.hash] and use an explicit FNV-1a. *)
+
+val string : string -> int
+(** FNV-1a of a string, folded to a non-negative OCaml int. *)
+
+val combine : int -> int -> int
+(** Mix two hashes into one (order-sensitive). *)
+
+val ints : int list -> int
+(** Hash a list of ints (order-sensitive). *)

@@ -1,0 +1,1 @@
+lib/varbench/harness.ml: Array Float Ksurf_env Ksurf_sim Ksurf_syscalls Ksurf_syzgen List Samples

@@ -1,0 +1,1 @@
+lib/varbench/harness.mli: Ksurf_env Ksurf_syscalls Ksurf_syzgen Samples

@@ -1,0 +1,1 @@
+lib/varbench/noise.ml: Array Ksurf_env Ksurf_sim Ksurf_stats Ksurf_syzgen Ksurf_util List Printf

@@ -1,0 +1,1 @@
+lib/varbench/noise.mli: Ksurf_env Ksurf_syzgen

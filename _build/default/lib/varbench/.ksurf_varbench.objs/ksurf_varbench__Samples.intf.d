@@ -1,0 +1,1 @@
+lib/varbench/samples.mli:

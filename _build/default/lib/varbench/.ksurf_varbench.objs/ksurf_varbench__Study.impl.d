@@ -1,0 +1,1 @@
+lib/varbench/study.ml: Array Harness Hashtbl Ksurf_kernel Ksurf_stats Ksurf_syscalls List Samples

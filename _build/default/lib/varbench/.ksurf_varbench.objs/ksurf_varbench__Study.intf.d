@@ -1,0 +1,1 @@
+lib/varbench/study.mli: Harness Ksurf_kernel Ksurf_stats

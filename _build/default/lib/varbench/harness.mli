@@ -1,0 +1,38 @@
+(** The varbench harness (§3.2 of the paper).
+
+    Deploys the syzgen corpus across every rank of an environment with
+    fine-grained concurrency control: a (simulated) MPI barrier before
+    every program ensures that the same sequence of system calls starts
+    on all cores at the same virtual time, maximising concurrent
+    pressure on shared kernel structures.  Synchronisation is user-level
+    (virtual network), so the same harness runs unmodified over native,
+    VM and container deployments. *)
+
+type params = {
+  iterations : int;  (** measured repetitions of the whole corpus *)
+  warmup_iterations : int;  (** discarded leading repetitions *)
+}
+
+val default_params : params
+(** 20 iterations, 2 warm-up. *)
+
+type site = {
+  program : int;  (** program id within the corpus *)
+  index : int;  (** call position within the program *)
+  syscall : Ksurf_syscalls.Spec.t;
+  samples : Samples.t;  (** one latency per rank x iteration *)
+}
+
+type result = {
+  sites : site array;
+  ranks : int;
+  iterations : int;
+  wall_time_ns : float;  (** virtual time the measured phase spanned *)
+}
+
+val total_invocations : result -> int
+
+val run : env:Ksurf_env.Env.t -> corpus:Ksurf_syzgen.Corpus.t -> ?params:params -> unit -> result
+(** Execute the corpus on every rank of [env].  Each call site collects
+    [ranks x iterations] latency samples.  Deterministic given the
+    environment's engine seed. *)

@@ -1,0 +1,54 @@
+module Engine = Ksurf_sim.Engine
+module Env = Ksurf_env.Env
+module Program = Ksurf_syzgen.Program
+module Corpus = Ksurf_syzgen.Corpus
+
+let issued = ref 0
+
+let syscalls_issued () = !issued
+
+type stream_stats = { calls : int; mean_ns : float; p99_ns : float }
+
+let start_general ~env ~corpus ~ranks ~think_time ~observe =
+  let engine = Env.engine env in
+  let programs = Corpus.programs corpus in
+  List.iter
+    (fun rank ->
+      if rank < 0 || rank >= Env.rank_count env then
+        invalid_arg (Printf.sprintf "Noise.start: rank %d out of range" rank);
+      Engine.spawn engine (fun () ->
+          (* Offset start positions so noise ranks are not in lock-step. *)
+          let start_at = rank mod Array.length programs in
+          let rec loop pi =
+            let p = programs.(pi) in
+            List.iter
+              (fun (c : Program.call) ->
+                let latency =
+                  Env.exec_syscall env ~rank c.Program.spec c.Program.arg
+                in
+                observe latency;
+                incr issued)
+              p.Program.calls;
+            if think_time > 0.0 then Engine.delay think_time;
+            loop ((pi + 1) mod Array.length programs)
+          in
+          loop start_at))
+    ranks
+
+let start ~env ~corpus ~ranks ?(think_time = 0.0) () =
+  start_general ~env ~corpus ~ranks ~think_time ~observe:(fun _ -> ())
+
+let start_tracked ~env ~corpus ~ranks ?(think_time = 0.0) () =
+  let p99 = Ksurf_stats.P2_quantile.create 0.99 in
+  let mean = Ksurf_util.Welford.create () in
+  let observe latency =
+    Ksurf_stats.P2_quantile.add p99 latency;
+    Ksurf_util.Welford.add mean latency
+  in
+  start_general ~env ~corpus ~ranks ~think_time ~observe;
+  fun () ->
+    {
+      calls = Ksurf_util.Welford.count mean;
+      mean_ns = Ksurf_util.Welford.mean mean;
+      p99_ns = Ksurf_stats.P2_quantile.value p99;
+    }

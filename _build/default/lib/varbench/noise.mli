@@ -1,0 +1,40 @@
+(** Varbench as antagonist (§6.2): system-call "noise" generators that
+    stress the kernel while another workload is measured.
+
+    Noise ranks loop over the corpus continuously (no barriers — the
+    goal is sustained pressure, not synchronised measurement) until the
+    caller stops draining the engine. *)
+
+val start :
+  env:Ksurf_env.Env.t ->
+  corpus:Ksurf_syzgen.Corpus.t ->
+  ranks:int list ->
+  ?think_time:float ->
+  unit ->
+  unit
+(** Spawn an infinite noise loop on each listed rank of [env].
+    [think_time] (ns, default 0) is an idle gap between programs, for
+    intensity control.  Run the engine with [~until] or [~stop] to bound
+    the simulation. *)
+
+val syscalls_issued : unit -> int
+(** Total noise system calls issued since process start (diagnostic;
+    monotone across runs). *)
+
+type stream_stats = {
+  calls : int;
+  mean_ns : float;
+  p99_ns : float;  (** streaming P² estimate — O(1) memory *)
+}
+
+val start_tracked :
+  env:Ksurf_env.Env.t ->
+  corpus:Ksurf_syzgen.Corpus.t ->
+  ranks:int list ->
+  ?think_time:float ->
+  unit ->
+  unit -> stream_stats
+(** Like {!start}, but returns a closure reporting the noise workload's
+    own latency statistics so far — useful to confirm the antagonist is
+    actually being slowed by the environment under test.  Raises
+    [Failure] if called before any call completed. *)

@@ -1,0 +1,20 @@
+type t = { mutable data : float array; mutable len : int }
+
+let create () = { data = Array.make 64 0.0; len = 0 }
+
+let add t v =
+  if t.len = Array.length t.data then begin
+    let ndata = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let count t = t.len
+let to_array t = Array.sub t.data 0 t.len
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done

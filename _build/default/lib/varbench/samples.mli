@@ -1,0 +1,11 @@
+(** Growable per-site latency sample storage. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val to_array : t -> float array
+(** Fresh array of all samples in insertion order. *)
+
+val iter : t -> (float -> unit) -> unit

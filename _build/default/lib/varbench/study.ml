@@ -1,0 +1,76 @@
+module Category = Ksurf_kernel.Category
+module Quantile = Ksurf_stats.Quantile
+module Buckets = Ksurf_stats.Buckets
+module Violin = Ksurf_stats.Violin
+module Spec = Ksurf_syscalls.Spec
+
+type site_stats = {
+  program : int;
+  index : int;
+  name : string;
+  categories : Category.t list;
+  count : int;
+  median : float;
+  p99 : float;
+  max : float;
+}
+
+let site_stats (result : Harness.result) =
+  Array.map
+    (fun (s : Harness.site) ->
+      let samples = Samples.to_array s.Harness.samples in
+      let sorted = Quantile.sorted_copy samples in
+      let n = Array.length sorted in
+      {
+        program = s.Harness.program;
+        index = s.Harness.index;
+        name = s.Harness.syscall.Spec.name;
+        categories = s.Harness.syscall.Spec.categories;
+        count = n;
+        median = Quantile.of_sorted sorted 0.5;
+        p99 = Quantile.of_sorted sorted 0.99;
+        max = sorted.(n - 1);
+      })
+    result.Harness.sites
+
+type statistic = Median | P99 | Max
+
+let statistic_name = function Median -> "median" | P99 -> "p99" | Max -> "max"
+
+let value_of stat s =
+  match stat with Median -> s.median | P99 -> s.p99 | Max -> s.max
+
+let bucket_row stat stats =
+  Buckets.of_latencies (Array.map (value_of stat) stats)
+
+let filter_by_native_median ~native ~min_median stats =
+  let keep = Hashtbl.create (Array.length native) in
+  Array.iter
+    (fun s ->
+      if s.median >= min_median then Hashtbl.replace keep (s.program, s.index) ())
+    native;
+  Array.of_list
+    (List.filter
+       (fun s -> Hashtbl.mem keep (s.program, s.index))
+       (Array.to_list stats))
+
+let p99_by_category stats =
+  List.map
+    (fun cat ->
+      let values =
+        Array.to_list stats
+        |> List.filter (fun s -> List.exists (Category.equal cat) s.categories)
+        |> List.map (fun s -> s.p99)
+      in
+      (cat, Array.of_list values))
+    Category.all
+
+let category_violin ~label cat stats =
+  let values =
+    Array.to_list stats
+    |> List.filter (fun s -> List.exists (Category.equal cat) s.categories)
+    |> List.map (fun s -> s.p99)
+  in
+  match values with
+  | [] -> None
+  | l -> Some (Violin.of_samples ~label (Array.of_list l))

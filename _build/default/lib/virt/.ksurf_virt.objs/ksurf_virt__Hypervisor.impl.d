@@ -1,0 +1,1 @@
+lib/virt/hypervisor.ml: Ksurf_kernel Ksurf_sim List Virt_config Vm

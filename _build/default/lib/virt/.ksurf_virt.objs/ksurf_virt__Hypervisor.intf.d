@@ -1,0 +1,1 @@
+lib/virt/hypervisor.mli: Ksurf_kernel Ksurf_sim Virt_config Vm

@@ -1,0 +1,1 @@
+lib/virt/lightweight.ml: Ksurf_util Virt_config

@@ -1,0 +1,1 @@
+lib/virt/lightweight.mli: Virt_config

@@ -1,0 +1,1 @@
+lib/virt/virt_config.ml: Ksurf_kernel Ksurf_util

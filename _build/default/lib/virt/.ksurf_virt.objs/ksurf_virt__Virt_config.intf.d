@@ -1,0 +1,1 @@
+lib/virt/virt_config.mli: Ksurf_kernel Ksurf_util

@@ -1,0 +1,1 @@
+lib/virt/vm.ml: Ksurf_kernel Ksurf_sim Ksurf_util Printf Virt_config

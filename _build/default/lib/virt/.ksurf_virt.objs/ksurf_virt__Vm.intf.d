@@ -1,0 +1,1 @@
+lib/virt/vm.mli: Ksurf_kernel Ksurf_sim Virt_config

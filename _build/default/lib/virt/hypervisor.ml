@@ -1,0 +1,48 @@
+module Resource = Ksurf_sim.Resource
+
+type t = {
+  engine : Ksurf_sim.Engine.t;
+  kernel_config : Ksurf_kernel.Config.t;
+  virt : Virt_config.t;
+  host_block : Resource.t;
+  share_host_disk : bool;
+  mutable next_id : int;
+  mutable booted : Vm.t list;
+}
+
+let create ~engine ?(kernel_config = Ksurf_kernel.Config.default)
+    ?(virt = Virt_config.default) ?(share_host_disk = false) () =
+  {
+    engine;
+    kernel_config;
+    virt;
+    host_block =
+      Resource.create ~engine ~name:"host.blkdev"
+        ~capacity:kernel_config.Ksurf_kernel.Config.block_queue_depth;
+    share_host_disk;
+    next_id = 0;
+    booted = [];
+  }
+
+let host_block t = t.host_block
+
+let boot_vm t shape =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let vm =
+    if t.share_host_disk then
+      Vm.boot ~engine:t.engine ~host_block:t.host_block
+        ~kernel_config:t.kernel_config ~virt:t.virt ~id shape
+    else Vm.boot ~engine:t.engine ~kernel_config:t.kernel_config ~virt:t.virt ~id shape
+  in
+  t.booted <- vm :: t.booted;
+  vm
+
+let boot_partition t ~vms ~total_cores ~total_mem_mb =
+  if vms < 1 then invalid_arg "Hypervisor.boot_partition: vms must be >= 1";
+  if total_cores mod vms <> 0 || total_mem_mb mod vms <> 0 then
+    invalid_arg "Hypervisor.boot_partition: uneven split";
+  let shape = { Vm.vcpus = total_cores / vms; mem_mb = total_mem_mb / vms } in
+  List.init vms (fun _ -> boot_vm t shape)
+
+let vms t = List.rev t.booted

@@ -1,0 +1,30 @@
+(** The host-side hypervisor: boots VM partitions over one machine.
+
+    Owns the physical block device every virtio backend feeds into and
+    assigns pinned physical CPU ranges to each VM (vCPU pinning from the
+    paper's configuration). *)
+
+type t
+
+val create :
+  engine:Ksurf_sim.Engine.t ->
+  ?kernel_config:Ksurf_kernel.Config.t ->
+  ?virt:Virt_config.t ->
+  ?share_host_disk:bool ->
+  unit ->
+  t
+(** [share_host_disk] (default false) queues every VM's virtio requests
+    on one shared host device; by default each VM gets a private virtio
+    disk (per-VM image files, host page cache absorbing contention). *)
+
+val host_block : t -> Ksurf_sim.Resource.t
+
+val boot_vm : t -> Vm.shape -> Vm.t
+(** Boot one VM; ids and pinned CPU ranges are assigned sequentially. *)
+
+val boot_partition : t -> vms:int -> total_cores:int -> total_mem_mb:int -> Vm.t list
+(** Boot [vms] identical VMs splitting the given resources evenly (the
+    Table 1 configurations).  Raises [Invalid_argument] if the split is
+    not exact. *)
+
+val vms : t -> Vm.t list

@@ -1,0 +1,65 @@
+module Dist = Ksurf_util.Dist
+
+let firecracker =
+  {
+    Virt_config.default with
+    Virt_config.exit_cost = 520.0;
+    exits_per_syscall = 0.5;
+    (* The lean VMM services device exits in microseconds, not hundreds
+       of microseconds: the slow-exit tail nearly disappears. *)
+    exit_slow_prob = 0.006;
+    exit_slow_cost = Dist.bounded_pareto ~lo:1.5e4 ~hi:1.2e5 ~shape:1.0;
+    cpu_factor = 1.07;
+    virtio_request_cost = 6_000.0 (* virtio-mmio, no PCI traversal *);
+    virtio_net_per_msg = 3_200.0;
+  }
+
+let kata =
+  {
+    Virt_config.default with
+    (* Stock-KVM hardware path plus the kata-agent proxy on the
+       container interface: a few more exits per call on average. *)
+    Virt_config.exits_per_syscall = 0.75;
+    virtio_request_cost = 10_500.0 (* 9p/virtiofs indirection *);
+  }
+
+let nabla =
+  {
+    Virt_config.default with
+    (* Unikernel hypercalls: almost every "syscall" is a function call
+       inside the library OS; only the seven solo5 hypercalls exit. *)
+    Virt_config.exit_cost = 350.0;
+    exits_per_syscall = 0.05;
+    exit_slow_prob = 0.001;
+    exit_slow_cost = Dist.bounded_pareto ~lo:1e4 ~hi:6e4 ~shape:1.2;
+    cpu_factor = 1.02;
+    virtio_request_cost = 4_000.0;
+    virtio_net_per_msg = 2_500.0;
+  }
+
+(* Every syscall is intercepted and redirected into the Sentry; the
+   "exit" here is the interception trampoline plus Sentry dispatch,
+   paid on each call.  The Sentry's own kernel structures play the
+   role of the guest kernel (small private surface area); Gofer-side
+   file I/O is the expensive punt path. *)
+let gvisor =
+  {
+    Virt_config.exit_cost = 2_400.0;
+    exits_per_syscall = 1.0;
+    exit_slow_prob = 0.004;
+    exit_slow_cost = Dist.bounded_pareto ~lo:2e4 ~hi:2e5 ~shape:1.0;
+    cpu_factor = 1.15 (* Go runtime + software MMU emulation *);
+    ipi_factor = 1.6;
+    virtio_request_cost = 16_000.0 (* 9p to the Gofer process *);
+    virtio_net_per_msg = 6_000.0;
+    hugepages = false;
+  }
+
+let all =
+  [
+    ("kvm", Virt_config.default);
+    ("firecracker", firecracker);
+    ("kata", kata);
+    ("nabla", nabla);
+    ("gvisor", gvisor);
+  ]

@@ -1,0 +1,37 @@
+(** Lightweight-VM technology presets (the paper's future work, §2).
+
+    The paper evaluates Docker and stock KVM and notes that emerging
+    "lightweight VM" projects — Amazon Firecracker, Kata Containers,
+    IBM Nabla — "would be interesting to evaluate in a similar
+    fashion".  Each preset is a {!Virt_config.t} tuned to the published
+    design of the technology, so every ksurf experiment can swap it in
+    via [Env.Kvm preset]:
+
+    - {b Firecracker}: a minimal VMM (no PCI, no BIOS, virtio-mmio, tiny
+      device model).  Exits that reach userspace are serviced by a lean
+      event loop, so exit tails shrink substantially; steady-state exit
+      cost is close to raw KVM.
+    - {b Kata}: VM-per-container with a guest agent.  Hardware isolation
+      equals stock KVM; the agent adds a small per-syscall proxy cost to
+      I/O-adjacent calls, modeled as extra expected exits.
+    - {b Nabla}: a library-OS unikernel on a seccomp-restricted host
+      process (solo5).  There is no guest Linux at all: "exits" are
+      seven whitelisted hypercalls, and everything else runs at function
+      call cost.  The closest ksurf model is vanishingly small exit
+      overhead with no nested-paging dilation — but note that a real
+      Nabla cannot run the unmodified tailbench binaries.
+    - {b gVisor}: a user-space kernel (the Sentry) intercepting {e every}
+      system call; most are served from the Sentry's own state (a
+      private surface area, like a guest kernel), file I/O crosses a
+      second process (the Gofer).  Interception costs microseconds per
+      call — the steepest median overhead of the set — in exchange for
+      the same unbounded-interference removal as a VM. *)
+
+val firecracker : Virt_config.t
+val kata : Virt_config.t
+val nabla : Virt_config.t
+val gvisor : Virt_config.t
+
+val all : (string * Virt_config.t) list
+(** [("kvm", default); ("firecracker", ...); ("kata", ...); ("nabla", ...);
+    ("gvisor", ...)] — stock KVM first for comparison. *)

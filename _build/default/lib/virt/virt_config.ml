@@ -1,0 +1,50 @@
+module Dist = Ksurf_util.Dist
+
+type t = {
+  exit_cost : float;
+  exits_per_syscall : float;
+  exit_slow_prob : float;
+  exit_slow_cost : Dist.t;
+  cpu_factor : float;
+  ipi_factor : float;
+  virtio_request_cost : float;
+  virtio_net_per_msg : float;
+  hugepages : bool;
+}
+
+let default =
+  {
+    exit_cost = 600.0;
+    exits_per_syscall = 0.55;
+    exit_slow_prob = 0.03;
+    exit_slow_cost = Dist.bounded_pareto ~lo:6e4 ~hi:8e5 ~shape:0.8;
+    cpu_factor = 1.08;
+    ipi_factor = 2.4;
+    virtio_request_cost = 9_000.0;
+    virtio_net_per_msg = 4_500.0;
+    hugepages = true;
+  }
+
+let scale f t =
+  if f < 0.0 then invalid_arg "Virt_config.scale: negative";
+  {
+    t with
+    exit_cost = t.exit_cost *. f;
+    exits_per_syscall = t.exits_per_syscall;
+    exit_slow_prob = t.exit_slow_prob *. f;
+    cpu_factor = 1.0 +. ((t.cpu_factor -. 1.0) *. f);
+    ipi_factor = 1.0 +. ((t.ipi_factor -. 1.0) *. f);
+    virtio_request_cost = t.virtio_request_cost *. f;
+    virtio_net_per_msg = t.virtio_net_per_msg *. f;
+  }
+
+let derive_kernel_config t (k : Ksurf_kernel.Config.t) =
+  let cpu_factor = if t.hugepages then t.cpu_factor else t.cpu_factor *. 1.05 in
+  {
+    k with
+    Ksurf_kernel.Config.ipi_cost = k.Ksurf_kernel.Config.ipi_cost *. t.ipi_factor;
+    block_latency =
+      Dist.shifted t.virtio_request_cost k.Ksurf_kernel.Config.block_latency;
+    cpu_cost_factor = k.Ksurf_kernel.Config.cpu_cost_factor *. cpu_factor;
+    syscall_entry_cost = k.Ksurf_kernel.Config.syscall_entry_cost *. cpu_factor;
+  }

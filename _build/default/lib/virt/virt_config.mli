@@ -1,0 +1,44 @@
+(** Hardware-virtualisation overhead model.
+
+    The paper's system model (§4.3): virtualisation adds a {e bounded}
+    overhead to most system calls — VM entries/exits, nested paging,
+    virtio I/O — in contrast to the unbounded software interference of a
+    shared kernel.  Every cost here is a fixed or narrowly-distributed
+    quantity; none of them queues behind other tenants. *)
+
+type t = {
+  exit_cost : float;  (** one VM exit + re-entry round trip (ns) *)
+  exits_per_syscall : float;
+      (** expected involuntary exits per system call (timer, APIC,
+          instruction emulation); fractional values are Bernoulli *)
+  exit_slow_prob : float;
+      (** probability an exit needs host-side service (halt polling,
+          host IRQ, userspace device emulation) *)
+  exit_slow_cost : Ksurf_util.Dist.t;
+      (** duration of such a serviced exit — bounded, unlike shared-
+          kernel interference *)
+  cpu_factor : float;
+      (** dilation of in-kernel CPU work from nested paging / TLB
+          pressure (>= 1.0) *)
+  ipi_factor : float;
+      (** multiplier on IPI cost: a cross-vCPU kick exits on the sender
+          and injects on the receiver *)
+  virtio_request_cost : float;
+      (** guest driver + host handoff per block request (ns) *)
+  virtio_net_per_msg : float;  (** TAP/virtio-net cost per network message *)
+  hugepages : bool;  (** 2 MiB guest mappings: cheaper nested walks *)
+}
+
+val default : t
+(** Calibrated KVM-on-EPYC-like values (pinned vCPUs, hugetlbfs,
+    virtio-blk) matching the paper's VM configuration (§4.1). *)
+
+val scale : float -> t -> t
+(** Multiply all exit-related costs by a factor — the E8 ablation
+    ("hardware continues to implement more support for virtualisation").
+    [scale 0.0 t] is free virtualisation. *)
+
+val derive_kernel_config : t -> Ksurf_kernel.Config.t -> Ksurf_kernel.Config.t
+(** The guest kernel's view of the hardware: IPIs cost more (exit on
+    both ends), block requests carry the virtio handoff, in-kernel CPU
+    dilates by [cpu_factor]. *)

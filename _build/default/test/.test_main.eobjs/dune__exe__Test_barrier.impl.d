@@ -1,0 +1,1 @@
+test/test_barrier.ml: Alcotest Barrier Engine Ksurf List

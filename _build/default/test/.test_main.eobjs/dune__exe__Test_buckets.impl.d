@@ -1,0 +1,1 @@
+test/test_buckets.ml: Alcotest Array Buckets Float Format Gen Ksurf List QCheck QCheck_alcotest String

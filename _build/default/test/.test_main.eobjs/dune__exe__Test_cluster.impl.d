@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Apps Cluster Env Generator Ksurf Lazy Option

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Float Ksurf Prng QCheck QCheck_alcotest Quantile

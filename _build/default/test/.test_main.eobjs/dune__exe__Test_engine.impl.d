@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Buffer Engine Float Gen Ksurf List Printf Prng QCheck QCheck_alcotest

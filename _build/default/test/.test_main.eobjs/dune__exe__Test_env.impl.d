@@ -1,0 +1,1 @@
+test/test_env.ml: Alcotest Arg Engine Env Instance Kernel_config Ksurf List Machine Option Partition Syscalls Virt_config

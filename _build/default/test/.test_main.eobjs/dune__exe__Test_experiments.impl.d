@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Apps Buckets Cluster Corpus Experiments Format Ksurf Lazy Lightweight List Partition Runner String Virt_config

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Apps Array Csv Experiments Export Filename Fun Ksurf List String Sys Unix

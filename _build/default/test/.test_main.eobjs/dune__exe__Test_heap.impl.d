@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Ksurf_sim List Option QCheck QCheck_alcotest

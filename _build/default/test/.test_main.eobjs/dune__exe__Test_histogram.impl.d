@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Histogram Ksurf List QCheck QCheck_alcotest

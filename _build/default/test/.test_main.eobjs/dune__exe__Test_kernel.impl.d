@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Background Caches Category Dist Engine Instance Kernel_config Ksurf List Ops Prng

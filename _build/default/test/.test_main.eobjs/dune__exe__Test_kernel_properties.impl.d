@@ -1,0 +1,1 @@
+test/test_kernel_properties.ml: Arg Dist Engine Instance Kernel_config Ksurf List Ops Prng QCheck QCheck_alcotest Spec Syscalls

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Array Engine Float Ksurf List Lock QCheck QCheck_alcotest Welford

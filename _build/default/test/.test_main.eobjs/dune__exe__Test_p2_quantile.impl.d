@@ -1,0 +1,1 @@
+test/test_p2_quantile.ml: Alcotest Array Dist Float Gen Ksurf Ksurf_stats List Prng QCheck QCheck_alcotest Quantile

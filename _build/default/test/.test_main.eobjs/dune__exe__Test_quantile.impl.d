@@ -1,0 +1,1 @@
+test/test_quantile.ml: Alcotest Array Gen Ksurf List QCheck QCheck_alcotest Quantile

@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest Engine Float Ksurf QCheck QCheck_alcotest Resource

@@ -1,0 +1,1 @@
+test/test_rwlock.ml: Alcotest Engine Ksurf List Rwlock

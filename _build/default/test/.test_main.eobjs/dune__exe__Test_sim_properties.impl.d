@@ -1,0 +1,1 @@
+test/test_sim_properties.ml: Barrier Engine Ksurf Lock Mailbox Prng QCheck QCheck_alcotest Resource Rwlock

@@ -1,0 +1,1 @@
+test/test_stable_hash.ml: Alcotest Ksurf QCheck QCheck_alcotest Stable_hash

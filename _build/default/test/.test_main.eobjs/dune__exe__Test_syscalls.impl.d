@@ -1,0 +1,1 @@
+test/test_syscalls.ml: Alcotest Arg Array Category Dist Format Ksurf List Ops Option Prng QCheck QCheck_alcotest Spec String Syscalls

@@ -1,0 +1,1 @@
+test/test_syzgen.ml: Alcotest Arg Array Corpus Coverage Filename Generator Ksurf Ksurf_kernel Ksurf_syscalls List Mutate Option Prng Program Spec String Sys Syscalls

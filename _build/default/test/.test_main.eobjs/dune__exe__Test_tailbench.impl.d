@@ -1,0 +1,1 @@
+test/test_tailbench.ml: Alcotest Apps Engine Env Kernel_config Ksurf List Option Partition Prng Runner Service

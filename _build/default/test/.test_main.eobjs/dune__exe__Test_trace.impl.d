@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Engine Format Ksurf Ksurf_sim List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_varbench.ml: Alcotest Array Buckets Corpus Engine Env Generator Harness Kernel_config Ksurf Lazy List Noise Partition Samples Study Virt_config

@@ -1,0 +1,1 @@
+test/test_violin.ml: Alcotest Array Float Gen Ksurf List QCheck QCheck_alcotest String Violin

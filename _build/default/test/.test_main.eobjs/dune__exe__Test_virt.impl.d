@@ -1,0 +1,1 @@
+test/test_virt.ml: Alcotest Container Dist Engine Float Hypervisor Instance Kernel_config Ksurf List Ops Virt_config Vm

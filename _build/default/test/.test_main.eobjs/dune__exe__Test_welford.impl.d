@@ -1,0 +1,1 @@
+test/test_welford.ml: Alcotest Float Gen Ksurf List QCheck QCheck_alcotest Welford

@@ -1,0 +1,57 @@
+open Ksurf
+
+let test_known_classification () =
+  (* One latency per band: 0.5us, 5us, 50us, 0.5ms, 5ms, 50ms. *)
+  let row =
+    Buckets.of_latencies [| 500.0; 5_000.0; 50_000.0; 5e5; 5e6; 5e7 |]
+  in
+  let pct = 100.0 /. 6.0 in
+  Alcotest.(check (float 1e-6)) "le 1us" pct row.Buckets.le_1us;
+  Alcotest.(check (float 1e-6)) "le 10us" (2.0 *. pct) row.Buckets.le_10us;
+  Alcotest.(check (float 1e-6)) "le 100us" (3.0 *. pct) row.Buckets.le_100us;
+  Alcotest.(check (float 1e-6)) "le 1ms" (4.0 *. pct) row.Buckets.le_1ms;
+  Alcotest.(check (float 1e-6)) "le 10ms" (5.0 *. pct) row.Buckets.le_10ms;
+  Alcotest.(check (float 1e-6)) "gt 10ms" pct row.Buckets.gt_10ms
+
+let test_all_fast () =
+  let row = Buckets.of_latencies [| 100.0; 200.0; 300.0 |] in
+  Alcotest.(check (float 1e-6)) "all below 1us" 100.0 row.Buckets.le_1us;
+  Alcotest.(check (float 1e-6)) "none above" 0.0 row.Buckets.gt_10ms
+
+let test_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Buckets.of_latencies: empty")
+    (fun () -> ignore (Buckets.of_latencies [||]))
+
+let test_edges () =
+  Alcotest.(check int) "5 edges" 5 (Array.length Buckets.edges_ns);
+  Alcotest.(check (float 1e-9)) "first edge 1us" 1e3 Buckets.edges_ns.(0);
+  Alcotest.(check (float 1e-9)) "last edge 10ms" 1e7 Buckets.edges_ns.(4)
+
+let qcheck_cumulative_monotone =
+  QCheck.Test.make ~name:"bucket row is cumulative" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_bound_exclusive 1e8))
+    (fun l ->
+      let r = Buckets.of_latencies (Array.of_list l) in
+      r.Buckets.le_1us <= r.Buckets.le_10us +. 1e-9
+      && r.Buckets.le_10us <= r.Buckets.le_100us +. 1e-9
+      && r.Buckets.le_100us <= r.Buckets.le_1ms +. 1e-9
+      && r.Buckets.le_1ms <= r.Buckets.le_10ms +. 1e-9
+      && Float.abs (r.Buckets.le_10ms +. r.Buckets.gt_10ms -. 100.0) < 1e-6)
+
+let test_pp_width () =
+  let row = Buckets.of_latencies [| 500.0 |] in
+  let rendered = Format.asprintf "%a" Buckets.pp row in
+  Alcotest.(check bool) "has 6 columns" true
+    (List.length
+       (String.split_on_char ' ' rendered |> List.filter (fun s -> s <> ""))
+    = 6)
+
+let suite =
+  [
+    Alcotest.test_case "known classification" `Quick test_known_classification;
+    Alcotest.test_case "all fast" `Quick test_all_fast;
+    Alcotest.test_case "empty raises" `Quick test_empty_raises;
+    Alcotest.test_case "edges" `Quick test_edges;
+    Alcotest.test_case "pp width" `Quick test_pp_width;
+    QCheck_alcotest.to_alcotest qcheck_cumulative_monotone;
+  ]

@@ -1,0 +1,94 @@
+open Ksurf
+
+let tiny_config =
+  {
+    Cluster.default_config with
+    Cluster.nodes_simulated = 1;
+    sim_iterations_per_node = 6;
+    warmup_iterations = 1;
+    requests_per_iteration = 8;
+    iterations = 10;
+  }
+
+let tiny_corpus =
+  lazy
+    (Generator.run
+       ~params:{ Generator.default_params with Generator.target_programs = 8 }
+       ())
+      .Generator.corpus
+
+let run_cell ?(contended = false) ?(kind = Env.Docker) () =
+  let app = Option.get (Apps.by_name "silo") in
+  Cluster.run ~app ~kind ~contended ~config:tiny_config
+    ~noise_corpus:(Lazy.force tiny_corpus) ()
+
+let test_smoke () =
+  let r = run_cell () in
+  Alcotest.(check string) "app" "silo" r.Cluster.app_name;
+  Alcotest.(check bool) "positive runtime" true (r.Cluster.runtime_ns > 0.0);
+  Alcotest.(check int) "iteration samples" 6 r.Cluster.iteration_samples
+
+let test_straggler_at_least_one () =
+  let r = run_cell () in
+  Alcotest.(check bool) "max >= mean" true (r.Cluster.straggler_factor >= 1.0)
+
+let test_runtime_scales_with_iterations () =
+  let app = Option.get (Apps.by_name "silo") in
+  let corpus = Lazy.force tiny_corpus in
+  let with_iters n =
+    (Cluster.run ~app ~kind:Env.Docker ~contended:false
+       ~config:{ tiny_config with Cluster.iterations = n }
+       ~noise_corpus:corpus ())
+      .Cluster.runtime_ns
+  in
+  let r10 = with_iters 10 and r20 = with_iters 20 in
+  Alcotest.(check (float 1e-6)) "runtime linear in iterations" (2.0 *. r10) r20
+
+let test_deterministic () =
+  let a = run_cell () and b = run_cell () in
+  Alcotest.(check (float 1e-9)) "same runtime" a.Cluster.runtime_ns
+    b.Cluster.runtime_ns
+
+let test_p99_at_least_mean () =
+  let r = run_cell () in
+  Alcotest.(check bool) "p99 >= mean iteration" true
+    (r.Cluster.node_p99_iter_ns >= r.Cluster.node_mean_iter_ns)
+
+let test_relative_loss () =
+  let iso = run_cell () in
+  let fake = { iso with Cluster.runtime_ns = iso.Cluster.runtime_ns *. 1.5 } in
+  Alcotest.(check (float 1e-6)) "+50%" 50.0
+    (Cluster.relative_loss ~isolated:iso ~contended:fake)
+
+let test_invalid_nodes () =
+  let app = Option.get (Apps.by_name "silo") in
+  Alcotest.(check bool) "0 nodes rejected" true
+    (try
+       ignore
+         (Cluster.run ~app ~kind:Env.Docker ~contended:false
+            ~config:{ tiny_config with Cluster.nodes_simulated = 0 }
+            ~noise_corpus:(Lazy.force tiny_corpus) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_more_nodes_more_samples () =
+  let app = Option.get (Apps.by_name "silo") in
+  let r =
+    Cluster.run ~app ~kind:Env.Docker ~contended:false
+      ~config:{ tiny_config with Cluster.nodes_simulated = 2 }
+      ~noise_corpus:(Lazy.force tiny_corpus) ()
+  in
+  Alcotest.(check int) "two nodes pool" 12 r.Cluster.iteration_samples
+
+let suite =
+  [
+    Alcotest.test_case "smoke" `Slow test_smoke;
+    Alcotest.test_case "straggler >= 1" `Slow test_straggler_at_least_one;
+    Alcotest.test_case "runtime linear in iterations" `Slow
+      test_runtime_scales_with_iterations;
+    Alcotest.test_case "deterministic" `Slow test_deterministic;
+    Alcotest.test_case "p99 >= mean" `Slow test_p99_at_least_mean;
+    Alcotest.test_case "relative loss" `Slow test_relative_loss;
+    Alcotest.test_case "invalid nodes" `Quick test_invalid_nodes;
+    Alcotest.test_case "pool size" `Slow test_more_nodes_more_samples;
+  ]

@@ -1,0 +1,192 @@
+open Ksurf
+
+let test_delay_advances_time () =
+  let engine = Engine.create () in
+  let finish = ref nan in
+  Engine.spawn engine (fun () ->
+      Engine.delay 100.0;
+      Engine.delay 50.0;
+      finish := Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "time" 150.0 !finish
+
+let test_spawn_at () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  Engine.spawn ~at:20.0 engine (fun () -> seen := "late" :: !seen);
+  Engine.spawn ~at:10.0 engine (fun () -> seen := "early" :: !seen);
+  Engine.run engine;
+  Alcotest.(check (list string)) "order" [ "late"; "early" ] !seen
+
+let test_spawn_in_past_raises () =
+  let engine = Engine.create () in
+  Engine.spawn engine (fun () -> Engine.delay 100.0);
+  Engine.run engine;
+  Alcotest.(check bool) "past spawn raises" true
+    (try
+       Engine.spawn ~at:5.0 engine (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_same_time_fifo () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn engine (fun () -> seen := i :: !seen)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "creation order" [ 5; 4; 3; 2; 1 ] !seen
+
+let test_determinism () =
+  let run () =
+    let engine = Engine.create ~seed:5 () in
+    let log = Buffer.create 64 in
+    for i = 1 to 4 do
+      Engine.spawn engine (fun () ->
+          let rng = Prng.split (Engine.rng engine) (string_of_int i) in
+          Engine.delay (Prng.float rng 100.0);
+          Buffer.add_string log (Printf.sprintf "%d@%.3f;" i (Engine.now engine)))
+    done;
+    Engine.run engine;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical runs" (run ()) (run ())
+
+let test_suspend_wake () =
+  let engine = Engine.create () in
+  let wake_fn = ref (fun () -> ()) in
+  let resumed_at = ref nan in
+  Engine.spawn engine (fun () ->
+      Engine.suspend (fun wake -> wake_fn := wake);
+      resumed_at := Engine.now engine);
+  Engine.spawn engine (fun () ->
+      Engine.delay 77.0;
+      !wake_fn ());
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "resumed when woken" 77.0 !resumed_at
+
+let test_double_wake_fails () =
+  let engine = Engine.create () in
+  let wake_fn = ref (fun () -> ()) in
+  Engine.spawn engine (fun () -> Engine.suspend (fun wake -> wake_fn := wake));
+  Engine.spawn engine (fun () ->
+      Engine.delay 1.0;
+      !wake_fn ();
+      !wake_fn ());
+  Alcotest.(check bool) "second wake raises" true
+    (try
+       Engine.run engine;
+       false
+     with Engine.Process_error (_, Failure _) -> true)
+
+let test_run_until () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  Engine.spawn engine (fun () ->
+      for _ = 1 to 10 do
+        Engine.delay 10.0;
+        incr count
+      done);
+  Engine.run ~until:35.0 engine;
+  Alcotest.(check int) "only events before the horizon" 3 !count;
+  Engine.run engine;
+  Alcotest.(check int) "resumable" 10 !count
+
+let test_until_advances_clock_when_idle () =
+  let engine = Engine.create () in
+  Engine.run ~until:500.0 engine;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 500.0 (Engine.now engine)
+
+let test_stop_predicate () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  Engine.spawn engine (fun () ->
+      (* Infinite loop in virtual time. *)
+      let rec loop () =
+        Engine.delay 1.0;
+        incr count;
+        loop ()
+      in
+      loop ());
+  Engine.run ~stop:(fun () -> !count >= 42) engine;
+  Alcotest.(check int) "stopped by predicate" 42 !count
+
+let test_negative_delay_raises () =
+  let engine = Engine.create () in
+  Engine.spawn engine (fun () -> Engine.delay (-1.0));
+  Alcotest.(check bool) "negative delay" true
+    (try
+       Engine.run engine;
+       false
+     with Engine.Process_error (_, Invalid_argument _) -> true)
+
+let test_zero_delay_is_noop () =
+  let engine = Engine.create () in
+  let steps = ref 0 in
+  Engine.spawn engine (fun () ->
+      Engine.delay 0.0;
+      incr steps;
+      Engine.delay 0.0;
+      incr steps);
+  Engine.run engine;
+  Alcotest.(check int) "both steps ran" 2 !steps;
+  (* A zero delay consumes no event. *)
+  Alcotest.(check int) "single event" 1 (Engine.events_executed engine)
+
+let test_exception_wrapped () =
+  let engine = Engine.create () in
+  Engine.spawn engine (fun () -> failwith "boom");
+  Alcotest.(check bool) "wrapped" true
+    (try
+       Engine.run engine;
+       false
+     with Engine.Process_error (_, Failure msg) -> msg = "boom")
+
+let test_delay_outside_process_fails () =
+  Alcotest.(check bool) "delay outside" true
+    (try
+       Engine.delay 1.0;
+       false
+     with Failure _ -> true)
+
+let test_pending () =
+  let engine = Engine.create () in
+  Engine.spawn engine (fun () -> ());
+  Engine.spawn engine (fun () -> ());
+  Alcotest.(check int) "two pending" 2 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check int) "drained" 0 (Engine.pending engine)
+
+let qcheck_delays_sum =
+  QCheck.Test.make ~name:"sequential delays accumulate" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_exclusive 1000.0))
+    (fun delays ->
+      let engine = Engine.create () in
+      let finish = ref nan in
+      Engine.spawn engine (fun () ->
+          List.iter Engine.delay delays;
+          finish := Engine.now engine);
+      Engine.run engine;
+      Float.abs (!finish -. List.fold_left ( +. ) 0.0 delays) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "delay advances time" `Quick test_delay_advances_time;
+    Alcotest.test_case "spawn at" `Quick test_spawn_at;
+    Alcotest.test_case "spawn in past" `Quick test_spawn_in_past_raises;
+    Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "suspend/wake" `Quick test_suspend_wake;
+    Alcotest.test_case "double wake" `Quick test_double_wake_fails;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "until advances idle clock" `Quick
+      test_until_advances_clock_when_idle;
+    Alcotest.test_case "stop predicate" `Quick test_stop_predicate;
+    Alcotest.test_case "negative delay" `Quick test_negative_delay_raises;
+    Alcotest.test_case "zero delay" `Quick test_zero_delay_is_noop;
+    Alcotest.test_case "exception wrapped" `Quick test_exception_wrapped;
+    Alcotest.test_case "delay outside process" `Quick
+      test_delay_outside_process_fails;
+    Alcotest.test_case "pending" `Quick test_pending;
+    QCheck_alcotest.to_alcotest qcheck_delays_sum;
+  ]

@@ -1,0 +1,78 @@
+open Ksurf
+module E = Experiments
+
+(* CSV writing + experiment exporters. *)
+
+let test_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_line () =
+  Alcotest.(check string) "joined" "a,\"b,c\",d" (Csv.line [ "a"; "b,c"; "d" ])
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_write_roundtrip () =
+  let path = Filename.temp_file "ksurf-csv" ".csv" in
+  Csv.write ~path ~header:[ "x"; "y" ] ~rows:[ [ "1"; "2" ]; [ "3"; "4" ] ];
+  Alcotest.(check string) "content" "x,y\n1,2\n3,4\n" (read_file path);
+  Sys.remove path
+
+let test_write_ragged () =
+  let path = Filename.temp_file "ksurf-csv" ".csv" in
+  Alcotest.(check bool) "ragged rejected" true
+    (try
+       Csv.write ~path ~header:[ "x"; "y" ] ~rows:[ [ "1" ] ];
+       false
+     with Invalid_argument _ -> true);
+  Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ksurf-export" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let line_count path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> l <> "")
+  |> List.length
+
+let test_export_table2 () =
+  with_temp_dir (fun dir ->
+      let corpus = E.default_corpus E.Quick in
+      let t = E.Table2.run ~scale:E.Quick ~corpus () in
+      match Export.table2 ~dir t with
+      | [ path ] ->
+          (* 3 environments x 3 statistics + header. *)
+          Alcotest.(check int) "rows" 10 (line_count path)
+      | _ -> Alcotest.fail "expected one file")
+
+let test_export_fig3 () =
+  with_temp_dir (fun dir ->
+      let corpus = E.default_corpus E.Quick in
+      let apps = List.filter_map Apps.by_name [ "silo" ] in
+      let t = E.Fig3.run ~scale:E.Quick ~corpus ~apps () in
+      match Export.fig3 ~dir t with
+      | [ path ] -> Alcotest.(check int) "4 cells + header" 5 (line_count path)
+      | _ -> Alcotest.fail "expected one file")
+
+let suite =
+  [
+    Alcotest.test_case "escape" `Quick test_escape;
+    Alcotest.test_case "line" `Quick test_line;
+    Alcotest.test_case "write roundtrip" `Quick test_write_roundtrip;
+    Alcotest.test_case "write ragged" `Quick test_write_ragged;
+    Alcotest.test_case "export table2" `Slow test_export_table2;
+    Alcotest.test_case "export fig3" `Slow test_export_fig3;
+  ]

@@ -1,0 +1,79 @@
+module Heap = Ksurf_sim.Heap
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek_time h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~time:3.0 ~seq:0 "c";
+  Heap.push h ~time:1.0 ~seq:1 "a";
+  Heap.push h ~time:2.0 ~seq:2 "b";
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "sorted by time" [ "a"; "b"; "c" ] order
+
+let test_fifo_tie_break () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:5.0 ~seq:i i
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list int)) "ties in insertion order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] order
+
+let test_peek () =
+  let h = Heap.create () in
+  Heap.push h ~time:7.0 ~seq:0 ();
+  Heap.push h ~time:2.0 ~seq:1 ();
+  Alcotest.(check (option (float 1e-9))) "peek min" (Some 2.0) (Heap.peek_time h);
+  Alcotest.(check int) "size unchanged by peek" 2 (Heap.size h)
+
+let test_growth () =
+  let h = Heap.create () in
+  for i = 0 to 999 do
+    Heap.push h ~time:(float_of_int (999 - i)) ~seq:i i
+  done;
+  Alcotest.(check int) "size" 1000 (Heap.size h);
+  let first = Option.get (Heap.pop h) in
+  Alcotest.(check (float 1e-9)) "min time" 0.0 (fst first)
+
+let qcheck_pop_sorted =
+  QCheck.Test.make ~name:"pops come out time-sorted" ~count:200
+    QCheck.(list (float_bound_exclusive 1e6))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i i) times;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (t, _) -> if t < prev then false else drain t
+      in
+      drain neg_infinity)
+
+let qcheck_size_tracks =
+  QCheck.Test.make ~name:"size tracks pushes and pops" ~count:200
+    QCheck.(list (float_bound_exclusive 100.0))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i ()) times;
+      let n = List.length times in
+      let ok = ref (Heap.size h = n) in
+      for expected = n - 1 downto 0 do
+        ignore (Heap.pop h);
+        if Heap.size h <> expected then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo tie break" `Quick test_fifo_tie_break;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "growth" `Quick test_growth;
+    QCheck_alcotest.to_alcotest qcheck_pop_sorted;
+    QCheck_alcotest.to_alcotest qcheck_size_tracks;
+  ]

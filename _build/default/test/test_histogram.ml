@@ -1,0 +1,78 @@
+open Ksurf
+
+let test_linear_binning () =
+  let h = Histogram.create_linear ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add h 0.5;
+  Histogram.add h 5.5;
+  Histogram.add h 5.6;
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  Alcotest.(check int) "bin 0" 1 (Histogram.bin_value h 0);
+  Alcotest.(check int) "bin 5" 2 (Histogram.bin_value h 5)
+
+let test_clamping () =
+  let h = Histogram.create_linear ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add h (-5.0);
+  Histogram.add h 100.0;
+  Alcotest.(check int) "below clamps to 0" 1 (Histogram.bin_value h 0);
+  Alcotest.(check int) "above clamps to last" 1 (Histogram.bin_value h 9)
+
+let test_log_binning () =
+  let h = Histogram.create_log ~lo:1.0 ~hi:1e6 ~bins:6 in
+  (* Decade-per-bin: 5 -> bin 0, 5e3 -> bin 3. *)
+  Alcotest.(check int) "bin of 5" 0 (Histogram.bin_of h 5.0);
+  Alcotest.(check int) "bin of 5000" 3 (Histogram.bin_of h 5_000.0);
+  Alcotest.(check int) "bin of 5e5" 5 (Histogram.bin_of h 5e5)
+
+let test_bin_edges () =
+  let h = Histogram.create_log ~lo:1.0 ~hi:100.0 ~bins:2 in
+  Alcotest.(check (float 1e-6)) "lo of bin 0" 1.0 (Histogram.bin_lo h 0);
+  Alcotest.(check (float 1e-6)) "hi of bin 0" 10.0 (Histogram.bin_hi h 0);
+  Alcotest.(check (float 1e-6)) "hi of bin 1" 100.0 (Histogram.bin_hi h 1)
+
+let test_densities_sum () =
+  let h = Histogram.create_linear ~lo:0.0 ~hi:1.0 ~bins:4 in
+  List.iter (Histogram.add h) [ 0.1; 0.3; 0.6; 0.9; 0.95 ];
+  let total = Array.fold_left ( +. ) 0.0 (Histogram.densities h) in
+  Alcotest.(check (float 1e-9)) "densities sum to 1" 1.0 total
+
+let test_empty_densities () =
+  let h = Histogram.create_linear ~lo:0.0 ~hi:1.0 ~bins:4 in
+  let total = Array.fold_left ( +. ) 0.0 (Histogram.densities h) in
+  Alcotest.(check (float 1e-9)) "empty densities are 0" 0.0 total
+
+let test_mode () =
+  let h = Histogram.create_linear ~lo:0.0 ~hi:4.0 ~bins:4 in
+  List.iter (Histogram.add h) [ 2.5; 2.6; 2.7; 0.5 ];
+  Alcotest.(check int) "mode bin" 2 (Histogram.mode_bin h)
+
+let test_invalid () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero bins" true
+    (raises (fun () -> ignore (Histogram.create_linear ~lo:0.0 ~hi:1.0 ~bins:0)));
+  Alcotest.(check bool) "bad range" true
+    (raises (fun () -> ignore (Histogram.create_linear ~lo:1.0 ~hi:0.0 ~bins:4)));
+  Alcotest.(check bool) "log lo=0" true
+    (raises (fun () -> ignore (Histogram.create_log ~lo:0.0 ~hi:1.0 ~bins:4)))
+
+let qcheck_total_preserved =
+  QCheck.Test.make ~name:"histogram count equals adds" ~count:200
+    QCheck.(list (float_bound_exclusive 100.0))
+    (fun l ->
+      let h = Histogram.create_linear ~lo:0.0 ~hi:50.0 ~bins:7 in
+      List.iter (Histogram.add h) l;
+      Histogram.count h = List.length l
+      && Array.to_list (Array.init (Histogram.bin_count h) (Histogram.bin_value h))
+         |> List.fold_left ( + ) 0 = List.length l)
+
+let suite =
+  [
+    Alcotest.test_case "linear binning" `Quick test_linear_binning;
+    Alcotest.test_case "clamping" `Quick test_clamping;
+    Alcotest.test_case "log binning" `Quick test_log_binning;
+    Alcotest.test_case "bin edges" `Quick test_bin_edges;
+    Alcotest.test_case "densities sum" `Quick test_densities_sum;
+    Alcotest.test_case "empty densities" `Quick test_empty_densities;
+    Alcotest.test_case "mode" `Quick test_mode;
+    Alcotest.test_case "invalid" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest qcheck_total_preserved;
+  ]

@@ -1,0 +1,117 @@
+open Ksurf
+
+(* Property tests of the kernel-op interpreter over random programs. *)
+
+let random_ops rng n =
+  List.init n (fun _ ->
+      match Prng.int rng 9 with
+      | 0 -> Ops.Cpu (Prng.float rng 500.0)
+      | 1 -> Ops.Lock (Ops.Tasklist, Dist.constant (Prng.float rng 300.0))
+      | 2 -> Ops.Lock (Ops.Dcache, Dist.constant (Prng.float rng 300.0))
+      | 3 -> Ops.Dcache_lookup
+      | 4 -> Ops.Page_cache_lookup
+      | 5 -> Ops.Slab_alloc
+      | 6 -> Ops.Page_alloc (Prng.int rng 4)
+      | 7 -> Ops.Read_lock (Ops.Mmap_sem, Dist.constant (Prng.float rng 200.0))
+      | _ -> Ops.Rcu_sync)
+
+let qcheck_exec_advances_at_least_fixed_cost =
+  QCheck.Test.make ~name:"exec_program >= fixed cpu cost" ~count:80
+    QCheck.(pair small_int (int_range 1 12))
+    (fun (seed, n) ->
+      let engine = Engine.create ~seed () in
+      let inst =
+        Instance.boot ~engine ~config:Kernel_config.quiet ~id:0 ~cores:4
+          ~mem_mb:1024 ()
+      in
+      let rng = Prng.create (seed + 10) in
+      let ops = random_ops rng n in
+      let elapsed = ref nan in
+      Engine.spawn engine (fun () ->
+          let t0 = Engine.now engine in
+          Instance.exec_program inst
+            { Instance.core = 0; tenant = 0; key = 0; cgroup = None }
+            ops;
+          elapsed := Engine.now engine -. t0);
+      Engine.run engine;
+      !elapsed >= Ops.total_fixed_cost ops -. 1e-6)
+
+let qcheck_exec_deterministic =
+  QCheck.Test.make ~name:"identical engines execute identically" ~count:50
+    QCheck.(pair small_int (int_range 1 10))
+    (fun (seed, n) ->
+      let run () =
+        let engine = Engine.create ~seed () in
+        let inst =
+          Instance.boot ~engine ~config:Kernel_config.default ~id:0 ~cores:8
+            ~mem_mb:4096 ()
+        in
+        let rng = Prng.create (seed + 20) in
+        let ops = random_ops rng n in
+        let finish = ref nan in
+        for core = 0 to 3 do
+          Engine.spawn engine (fun () ->
+              Instance.exec_program inst
+                { Instance.core; tenant = core; key = 0; cgroup = None }
+                ops;
+              finish := Engine.now engine)
+        done;
+        Engine.run engine;
+        !finish
+      in
+      run () = run ())
+
+let qcheck_concurrent_execution_no_crash =
+  QCheck.Test.make ~name:"concurrent random programs drain cleanly" ~count:40
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, procs) ->
+      let engine = Engine.create ~seed () in
+      let inst =
+        Instance.boot ~engine ~config:Kernel_config.default ~id:0 ~cores:procs
+          ~mem_mb:2048 ()
+      in
+      let rng = Prng.create (seed + 30) in
+      let done_count = ref 0 in
+      for core = 0 to procs - 1 do
+        let ops = random_ops rng (1 + Prng.int rng 10) in
+        Engine.spawn engine (fun () ->
+            for _ = 1 to 5 do
+              Instance.exec_program inst
+                { Instance.core; tenant = core; key = core; cgroup = None }
+                ops
+            done;
+            incr done_count)
+      done;
+      Engine.run ~stop:(fun () -> !done_count = procs) engine;
+      !done_count = procs)
+
+let qcheck_syscall_latency_positive_all_table =
+  QCheck.Test.make ~name:"every syscall has positive latency" ~count:60
+    QCheck.small_int
+    (fun seed ->
+      let engine = Engine.create ~seed () in
+      let inst =
+        Instance.boot ~engine ~config:Kernel_config.quiet ~id:0 ~cores:2
+          ~mem_mb:1024 ()
+      in
+      let rng = Prng.create (seed + 40) in
+      let spec = Prng.pick rng Syscalls.all in
+      let arg = Arg.generate spec.Spec.arg_model rng in
+      let elapsed = ref nan in
+      Engine.spawn engine (fun () ->
+          let t0 = Engine.now engine in
+          Instance.burn inst 120.0;
+          Instance.exec_program inst
+            { Instance.core = 0; tenant = 0; key = arg.Arg.obj; cgroup = None }
+            (spec.Spec.ops arg);
+          elapsed := Engine.now engine -. t0);
+      Engine.run engine;
+      !elapsed > 0.0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_exec_advances_at_least_fixed_cost;
+    QCheck_alcotest.to_alcotest qcheck_exec_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_concurrent_execution_no_crash;
+    QCheck_alcotest.to_alcotest qcheck_syscall_latency_positive_all_table;
+  ]

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "ksurf"
+    [
+      ("prng", Test_prng.suite);
+      ("dist", Test_dist.suite);
+      ("welford", Test_welford.suite);
+      ("stable-hash", Test_stable_hash.suite);
+      ("quantile", Test_quantile.suite);
+      ("buckets", Test_buckets.suite);
+      ("p2-quantile", Test_p2_quantile.suite);
+      ("histogram", Test_histogram.suite);
+      ("kde", Test_kde.suite);
+      ("violin", Test_violin.suite);
+      ("heap", Test_heap.suite);
+      ("engine", Test_engine.suite);
+      ("lock", Test_lock.suite);
+      ("rwlock", Test_rwlock.suite);
+      ("resource", Test_resource.suite);
+      ("barrier", Test_barrier.suite);
+      ("mailbox", Test_mailbox.suite);
+      ("sim-properties", Test_sim_properties.suite);
+      ("trace", Test_trace.suite);
+      ("kernel", Test_kernel.suite);
+      ("kernel-properties", Test_kernel_properties.suite);
+      ("syscalls", Test_syscalls.suite);
+      ("syzgen", Test_syzgen.suite);
+      ("virt", Test_virt.suite);
+      ("env", Test_env.suite);
+      ("varbench", Test_varbench.suite);
+      ("tailbench", Test_tailbench.suite);
+      ("cluster", Test_cluster.suite);
+      ("report", Test_report.suite);
+      ("experiments", Test_experiments.suite);
+      ("export", Test_export.suite);
+    ]

@@ -1,0 +1,74 @@
+open Ksurf
+module P2 = Ksurf_stats.P2_quantile
+
+let test_invalid_quantile () =
+  let raises q = try ignore (P2.create q); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "q=0" true (raises 0.0);
+  Alcotest.(check bool) "q=1" true (raises 1.0)
+
+let test_empty_fails () =
+  let p = P2.create 0.5 in
+  Alcotest.(check bool) "empty raises" true
+    (try ignore (P2.value p); false with Failure _ -> true)
+
+let test_small_sample_exact () =
+  let p = P2.create 0.5 in
+  List.iter (P2.add p) [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check (float 1e-9)) "exact small-sample median" 2.0 (P2.value p);
+  Alcotest.(check int) "count" 3 (P2.count p)
+
+let close_to_exact ~q ~tolerance samples =
+  let p = P2.create q in
+  Array.iter (P2.add p) samples;
+  let exact = Quantile.quantile samples q in
+  let est = P2.value p in
+  let spread = Quantile.max_value samples -. Quantile.min_value samples in
+  Float.abs (est -. exact) <= tolerance *. spread
+
+let test_uniform_median () =
+  let rng = Prng.create 1 in
+  let samples = Array.init 20_000 (fun _ -> Prng.float rng 1000.0) in
+  Alcotest.(check bool) "median within 1% of range" true
+    (close_to_exact ~q:0.5 ~tolerance:0.01 samples)
+
+let test_lognormal_p99 () =
+  let rng = Prng.create 2 in
+  let d = Dist.lognormal ~median:100.0 ~sigma:0.8 in
+  let samples = Array.init 50_000 (fun _ -> Dist.sample d rng) in
+  let p = P2.create 0.99 in
+  Array.iter (P2.add p) samples;
+  let exact = Quantile.p99 samples in
+  let rel = Float.abs (P2.value p -. exact) /. exact in
+  if rel > 0.10 then
+    Alcotest.failf "p99 estimate off by %.1f%% (est %g, exact %g)" (100. *. rel)
+      (P2.value p) exact
+
+let test_monotone_stream () =
+  let p = P2.create 0.9 in
+  for i = 1 to 1000 do
+    P2.add p (float_of_int i)
+  done;
+  let est = P2.value p in
+  Alcotest.(check bool) "p90 of 1..1000 near 900" true
+    (est > 850.0 && est < 950.0)
+
+let qcheck_estimate_within_range =
+  QCheck.Test.make ~name:"p2 estimate within sample range" ~count:200
+    QCheck.(list_of_size Gen.(int_range 6 200) (float_bound_exclusive 1e6))
+    (fun l ->
+      let p = P2.create 0.75 in
+      List.iter (P2.add p) l;
+      let a = Array.of_list l in
+      P2.value p >= Quantile.min_value a -. 1e-9
+      && P2.value p <= Quantile.max_value a +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "invalid quantile" `Quick test_invalid_quantile;
+    Alcotest.test_case "empty fails" `Quick test_empty_fails;
+    Alcotest.test_case "small-sample exact" `Quick test_small_sample_exact;
+    Alcotest.test_case "uniform median" `Slow test_uniform_median;
+    Alcotest.test_case "lognormal p99" `Slow test_lognormal_p99;
+    Alcotest.test_case "monotone stream" `Quick test_monotone_stream;
+    QCheck_alcotest.to_alcotest qcheck_estimate_within_range;
+  ]

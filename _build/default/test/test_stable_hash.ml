@@ -1,0 +1,39 @@
+open Ksurf
+
+let test_deterministic () =
+  Alcotest.(check int) "string stable" (Stable_hash.string "open")
+    (Stable_hash.string "open");
+  Alcotest.(check int) "ints stable" (Stable_hash.ints [ 1; 2; 3 ])
+    (Stable_hash.ints [ 1; 2; 3 ])
+
+let test_distinct_inputs () =
+  Alcotest.(check bool) "different strings" true
+    (Stable_hash.string "read" <> Stable_hash.string "write");
+  Alcotest.(check bool) "order sensitive" true
+    (Stable_hash.ints [ 1; 2 ] <> Stable_hash.ints [ 2; 1 ]);
+  Alcotest.(check bool) "combine order" true
+    (Stable_hash.combine 1 2 <> Stable_hash.combine 2 1)
+
+let qcheck_non_negative_strings =
+  QCheck.Test.make ~name:"string hash non-negative" ~count:500
+    QCheck.printable_string
+    (fun s -> Stable_hash.string s >= 0)
+
+let qcheck_non_negative_ints =
+  QCheck.Test.make ~name:"ints hash non-negative" ~count:500
+    QCheck.(list small_signed_int)
+    (fun l -> Stable_hash.ints l >= 0)
+
+let qcheck_combine_non_negative =
+  QCheck.Test.make ~name:"combine non-negative" ~count:500
+    QCheck.(pair small_signed_int small_signed_int)
+    (fun (a, b) -> Stable_hash.combine a b >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "distinct inputs" `Quick test_distinct_inputs;
+    QCheck_alcotest.to_alcotest qcheck_non_negative_strings;
+    QCheck_alcotest.to_alcotest qcheck_non_negative_ints;
+    QCheck_alcotest.to_alcotest qcheck_combine_non_negative;
+  ]

@@ -1,0 +1,178 @@
+open Ksurf
+
+let test_table_size () =
+  Alcotest.(check bool) "at least 150 modeled calls" true (Syscalls.count >= 150)
+
+let test_names_unique () =
+  let names = Syscalls.names () in
+  Alcotest.(check int) "no duplicates" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_lookup_by_name () =
+  (match Syscalls.by_name "read" with
+  | Some s ->
+      Alcotest.(check int) "read is syscall 0" 0 s.Spec.number;
+      Alcotest.(check bool) "file-io" true (Spec.in_category s Category.File_io)
+  | None -> Alcotest.fail "read missing");
+  Alcotest.(check bool) "unknown" true (Syscalls.by_name "frobnicate" = None)
+
+let test_lookup_by_number () =
+  match Syscalls.by_number 57 with
+  | Some s -> Alcotest.(check string) "fork" "fork" s.Spec.name
+  | None -> Alcotest.fail "fork missing"
+
+let test_every_category_populated () =
+  List.iter
+    (fun cat ->
+      let n = List.length (Syscalls.in_category cat) in
+      if n < 10 then
+        Alcotest.failf "category %s has only %d calls"
+          (Category.to_string cat) n)
+    Category.all
+
+let test_dual_category_chmod () =
+  (* The paper's example: chmod is both fs-mgmt and permission. *)
+  match Syscalls.by_name "chmod" with
+  | Some s ->
+      Alcotest.(check bool) "fs-mgmt" true (Spec.in_category s Category.Fs_mgmt);
+      Alcotest.(check bool) "perm" true (Spec.in_category s Category.Perm)
+  | None -> Alcotest.fail "chmod missing"
+
+let test_every_spec_produces_ops () =
+  let rng = Prng.create 99 in
+  Array.iter
+    (fun (s : Spec.t) ->
+      for _ = 1 to 5 do
+        let arg = Arg.generate s.Spec.arg_model rng in
+        let ops = s.Spec.ops arg in
+        if ops = [] then Alcotest.failf "%s: empty op program" s.Spec.name;
+        if Ops.total_fixed_cost ops < 0.0 then
+          Alcotest.failf "%s: negative fixed cost" s.Spec.name
+      done)
+    Syscalls.all
+
+let test_spec_validation () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty name rejected" true
+    (raises (fun () ->
+         ignore
+           (Spec.make ~name:"" ~number:1 ~categories:[ Category.Ipc ]
+              ~doc:"x" (fun _ -> []))));
+  Alcotest.(check bool) "no categories rejected" true
+    (raises (fun () ->
+         ignore (Spec.make ~name:"x" ~number:1 ~categories:[] ~doc:"x" (fun _ -> []))))
+
+let test_size_sensitivity () =
+  (* read's op program grows with the transfer size. *)
+  let read = Option.get (Syscalls.by_name "read") in
+  let cost size =
+    Ops.total_fixed_cost (read.Spec.ops { Arg.size; obj = 0; flags = 0 })
+  in
+  Alcotest.(check bool) "1MB costs more than 64B" true (cost (1 lsl 20) > cost 64)
+
+let test_mm_calls_shootdown () =
+  (* munmap must invalidate TLBs; getpid must not. *)
+  let has_shootdown name =
+    let s = Option.get (Syscalls.by_name name) in
+    List.exists
+      (function Ops.Tlb_shootdown -> true | _ -> false)
+      (s.Spec.ops Arg.default)
+  in
+  Alcotest.(check bool) "munmap shoots down" true (has_shootdown "munmap");
+  Alcotest.(check bool) "getpid does not" false (has_shootdown "getpid")
+
+let qcheck_arg_roundtrip =
+  QCheck.Test.make ~name:"arg to/of string roundtrip" ~count:300
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (size, obj, flags) ->
+      let arg = { Arg.size; obj; flags } in
+      Arg.of_string (Arg.to_string arg) = Some arg)
+
+let test_arg_of_string_malformed () =
+  Alcotest.(check bool) "garbage" true (Arg.of_string "garbage" = None);
+  Alcotest.(check bool) "too few" true (Arg.of_string "1:2" = None);
+  Alcotest.(check bool) "non-numeric" true (Arg.of_string "a:b:c" = None)
+
+let qcheck_generate_within_model =
+  QCheck.Test.make ~name:"generated args within model" ~count:300
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let model = Arg.io in
+      let arg = Arg.generate model rng in
+      Array.exists (fun s -> s = arg.Arg.size) model.Arg.sizes
+      && arg.Arg.obj >= 0
+      && arg.Arg.obj < model.Arg.max_obj
+      && arg.Arg.flags >= 0
+      && arg.Arg.flags < model.Arg.max_flags)
+
+let test_size_bucket_monotone () =
+  let prev = ref (-1) in
+  List.iter
+    (fun size ->
+      let b = Arg.size_bucket size in
+      if b < !prev then Alcotest.failf "bucket not monotone at %d" size;
+      prev := b)
+    [ 0; 1; 64; 4096; 65536; 1 lsl 20; 1 lsl 26 ];
+  Alcotest.(check int) "zero size is bucket 0" 0 (Arg.size_bucket 0);
+  Alcotest.(check bool) "4K and 1M differ" true
+    (Arg.size_bucket 4096 <> Arg.size_bucket (1 lsl 20))
+
+let suite =
+  [
+    Alcotest.test_case "table size" `Quick test_table_size;
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "by_name" `Quick test_lookup_by_name;
+    Alcotest.test_case "by_number" `Quick test_lookup_by_number;
+    Alcotest.test_case "every category populated" `Quick
+      test_every_category_populated;
+    Alcotest.test_case "chmod dual category" `Quick test_dual_category_chmod;
+    Alcotest.test_case "every spec produces ops" `Quick
+      test_every_spec_produces_ops;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "size sensitivity" `Quick test_size_sensitivity;
+    Alcotest.test_case "mm calls shoot down" `Quick test_mm_calls_shootdown;
+    Alcotest.test_case "malformed arg strings" `Quick test_arg_of_string_malformed;
+    Alcotest.test_case "size bucket monotone" `Quick test_size_bucket_monotone;
+    QCheck_alcotest.to_alcotest qcheck_arg_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_generate_within_model;
+  ]
+
+let test_ops_pp () =
+  List.iter
+    (fun (op, expect) ->
+      Alcotest.(check string) "pp" expect (Format.asprintf "%a" Ops.pp_op op))
+    [
+      (Ops.Cpu 100.0, "cpu(100ns)");
+      (Ops.Lock (Ops.Journal, Dist.constant 1.0), "lock(journal)");
+      (Ops.Tlb_shootdown, "tlb_shootdown");
+      (Ops.Block_io { bytes = 64; write = true }, "block_write(64B)");
+      (Ops.Page_alloc 2, "page_alloc(order=2)");
+    ]
+
+let test_global_lock_refs () =
+  Alcotest.(check bool) "journal is global" true
+    (List.mem Ops.Journal Ops.global_lock_refs);
+  Alcotest.(check bool) "runqueue is not" false
+    (List.mem Ops.Runqueue Ops.global_lock_refs)
+
+let test_spec_pp () =
+  let s = Option.get (Syscalls.by_name "chmod") in
+  let rendered = Format.asprintf "%a" Spec.pp s in
+  Alcotest.(check bool) "mentions both categories" true
+    (String.length rendered > 0
+    &&
+    let has sub =
+      let n = String.length sub and l = String.length rendered in
+      let rec go i = i + n <= l && (String.sub rendered i n = sub || go (i + 1)) in
+      go 0
+    in
+    has "fs-mgmt" && has "perm")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "ops pp" `Quick test_ops_pp;
+      Alcotest.test_case "global lock refs" `Quick test_global_lock_refs;
+      Alcotest.test_case "spec pp" `Quick test_spec_pp;
+    ]

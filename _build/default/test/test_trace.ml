@@ -1,0 +1,74 @@
+open Ksurf
+module Trace = Ksurf_sim.Trace
+
+let test_records_in_order () =
+  let engine = Engine.create () in
+  let trace = Trace.create ~engine () in
+  Engine.spawn engine (fun () ->
+      Trace.record trace "start";
+      Engine.delay 100.0;
+      Trace.record trace "middle";
+      Engine.delay 50.0;
+      Trace.recordf trace "end at %g" (Engine.now engine));
+  Engine.run engine;
+  match Trace.events trace with
+  | [ (0.0, "start"); (100.0, "middle"); (150.0, "end at 150") ] -> ()
+  | events ->
+      Alcotest.failf "unexpected events: %s"
+        (String.concat "; " (List.map snd events))
+
+let test_ring_drops_oldest () =
+  let engine = Engine.create () in
+  let trace = Trace.create ~capacity:3 ~engine () in
+  List.iter (Trace.record trace) [ "a"; "b"; "c"; "d"; "e" ];
+  Alcotest.(check (list string)) "last three retained" [ "c"; "d"; "e" ]
+    (List.map snd (Trace.events trace));
+  Alcotest.(check int) "recorded" 5 (Trace.recorded trace);
+  Alcotest.(check int) "dropped" 2 (Trace.dropped trace)
+
+let test_clear () =
+  let engine = Engine.create () in
+  let trace = Trace.create ~capacity:4 ~engine () in
+  Trace.record trace "x";
+  Trace.clear trace;
+  Alcotest.(check int) "empty" 0 (List.length (Trace.events trace));
+  Alcotest.(check int) "counter reset" 0 (Trace.recorded trace)
+
+let test_invalid_capacity () =
+  let engine = Engine.create () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Trace.create ~capacity:0 ~engine ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_pp () =
+  let engine = Engine.create () in
+  let trace = Trace.create ~engine () in
+  Trace.record trace "hello";
+  let out = Format.asprintf "%a" Trace.pp trace in
+  Alcotest.(check bool) "renders" true (String.length out > 5)
+
+let qcheck_ring_retains_suffix =
+  QCheck.Test.make ~name:"ring retains the newest suffix" ~count:200
+    QCheck.(pair (int_range 1 16) (list small_string))
+    (fun (capacity, labels) ->
+      let engine = Engine.create () in
+      let trace = Trace.create ~capacity ~engine () in
+      List.iter (Trace.record trace) labels;
+      let expected =
+        let n = List.length labels in
+        let keep = min n capacity in
+        List.filteri (fun i _ -> i >= n - keep) labels
+      in
+      List.map snd (Trace.events trace) = expected)
+
+let suite =
+  [
+    Alcotest.test_case "records in order" `Quick test_records_in_order;
+    Alcotest.test_case "ring drops oldest" `Quick test_ring_drops_oldest;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
+    Alcotest.test_case "pp" `Quick test_pp;
+    QCheck_alcotest.to_alcotest qcheck_ring_retains_suffix;
+  ]
