@@ -1,0 +1,22 @@
+# Convenience entry points; everything below is plain dune.
+
+.PHONY: all build test analyze-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Sanitizer smoke run: lockdep + determinism + invariants over the
+# small varbench scenario at a fixed seed.  Exits nonzero on any
+# finding, so it doubles as a CI gate.
+analyze-smoke:
+	dune exec bin/ksurf_cli.exe -- analyze --scenario varbench --seed 42
+
+check: build test analyze-smoke
+
+clean:
+	dune clean

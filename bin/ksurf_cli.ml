@@ -158,6 +158,76 @@ let run_corpus_cmd =
       const run_corpus $ seed_arg $ file $ env_name $ units $ iterations
       $ logs_term)
 
+(* --- analyze ---------------------------------------------------------- *)
+
+(* Sanitizer suite: lockdep lock-order validation, determinism replay,
+   and engine invariant checks over a stock scenario.  Exits 1 on any
+   finding so it can gate CI. *)
+let analyze seed scenario checks csv () =
+  let module A = Ksurf.Analysis in
+  match A.Scenarios.of_string scenario with
+  | None ->
+      Format.eprintf "unknown scenario %S (varbench|tailbench|bsp|inversion)@."
+        scenario;
+      exit 2
+  | Some sc -> (
+      match A.Sanitizer.checks_of_string checks with
+      | Error bad ->
+          Format.eprintf "unknown check %S (lockdep|determinism|invariants)@."
+            bad;
+          exit 2
+      | Ok [] ->
+          Format.eprintf "no checks selected@.";
+          exit 2
+      | Ok selected ->
+          let outcome =
+            timed "analyze" (fun () ->
+                A.Sanitizer.run ~scenario:sc ~seed ~checks:selected ())
+          in
+          Format.printf "%a@." A.Sanitizer.pp_outcome outcome;
+          (match csv with
+          | None -> ()
+          | Some path -> (
+              try
+                A.Finding.export_csv ~path outcome.A.Sanitizer.findings;
+                Format.printf "findings written to %s@." path
+              with Sys_error msg ->
+                Format.eprintf "cannot write CSV: %s@." msg;
+                exit 2));
+          if outcome.A.Sanitizer.findings <> [] then exit 1)
+
+let analyze_cmd =
+  let scenario =
+    Arg.(
+      value & opt string "varbench"
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "Scenario to instrument: $(b,varbench), $(b,tailbench), $(b,bsp), \
+             or $(b,inversion) (a deliberate lock-order inversion that \
+             self-tests the analyzer).")
+  in
+  let checks =
+    Arg.(
+      value
+      & opt string "lockdep,determinism,invariants"
+      & info [ "check" ] ~docv:"CHECKS"
+          ~doc:
+            "Comma-separated checks to run: $(b,lockdep), $(b,determinism), \
+             $(b,invariants).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Export the findings to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the sanitizer suite (lockdep, determinism, invariants) over a \
+          stock scenario; exit nonzero on any finding")
+    Term.(const analyze $ seed_arg $ scenario $ checks $ csv $ logs_term)
+
 (* --- experiments ------------------------------------------------------ *)
 
 let experiment_cmd name ~doc run =
@@ -239,6 +309,7 @@ let main_cmd =
     [
       gen_corpus_cmd;
       run_corpus_cmd;
+      analyze_cmd;
       table1_cmd;
       table2_cmd;
       fig2_cmd;

@@ -1,0 +1,63 @@
+(* A sanitizer finding: one defect (or suspected defect) in the
+   simulated kernel's synchronization or the engine's bookkeeping,
+   with enough witness context to act on it. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  severity : severity;
+  check : string;  (** which analyzer produced it: lockdep, invariants, ... *)
+  code : string;  (** stable machine-readable kind: lock-order-cycle, ... *)
+  message : string;
+  witness : string list;  (** trace excerpt: one line per witness event *)
+}
+
+let make ~severity ~check ~code ~message ?(witness = []) () =
+  { severity; check; code; message; witness }
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* Stable report order: errors first, then by analyzer and message. *)
+let sort findings =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> (
+          match String.compare a.check b.check with
+          | 0 -> (
+              match String.compare a.code b.code with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+    findings
+
+let errors findings = List.filter (fun f -> f.severity = Error) findings
+
+let pp ppf f =
+  Format.fprintf ppf "[%s] %s/%s: %s"
+    (String.uppercase_ascii (severity_name f.severity))
+    f.check f.code f.message;
+  List.iter (fun line -> Format.fprintf ppf "@.    %s" line) f.witness
+
+let csv_header = [ "severity"; "check"; "code"; "message"; "witness" ]
+
+let csv_rows findings =
+  List.map
+    (fun f ->
+      [
+        severity_name f.severity;
+        f.check;
+        f.code;
+        f.message;
+        String.concat " | " f.witness;
+      ])
+    findings
+
+let export_csv ~path findings =
+  Ksurf_report.Csv.write ~path ~header:csv_header ~rows:(csv_rows findings)

@@ -1,0 +1,145 @@
+(* Engine invariant sanitizer: a net over the probe event stream that
+   re-checks what the engine and the synchronization primitives promise
+   structurally — events never scheduled in the past, execution time
+   never regressing, suspensions woken at most once, barrier
+   generations monotone and gap-free, and per-lock contention counters
+   consistent ([acquisitions >= contended] at drain).  The engine
+   hard-raises on some of these itself; the sanitizer exists so a
+   future engine change that silently drops a guard is still caught. *)
+
+module Engine = Ksurf_sim.Engine
+
+type lock_counts = { mutable acquires : int; mutable contended : int }
+
+type t = {
+  mutable findings : Finding.t list;  (** reversed *)
+  tokens : (int, bool) Hashtbl.t;  (** suspension token -> woken? *)
+  barriers : (string, int) Hashtbl.t;  (** barrier -> last generation *)
+  locks : (string, lock_counts) Hashtbl.t;
+  mutable last_exec_time : float;
+  mutable events : int;
+}
+
+let create () =
+  {
+    findings = [];
+    tokens = Hashtbl.create 64;
+    barriers = Hashtbl.create 8;
+    locks = Hashtbl.create 64;
+    last_exec_time = neg_infinity;
+    events = 0;
+  }
+
+let events t = t.events
+
+let add t ~severity ~code message =
+  t.findings <-
+    Finding.make ~severity ~check:"invariants" ~code ~message () :: t.findings
+
+let counts_for t name =
+  match Hashtbl.find_opt t.locks name with
+  | Some c -> c
+  | None ->
+      let c = { acquires = 0; contended = 0 } in
+      Hashtbl.add t.locks name c;
+      c
+
+let on_event t (info : Engine.event_info) =
+  t.events <- t.events + 1;
+  match info with
+  | Engine.Scheduled { now; at; pid } ->
+      if at < now then
+        add t ~severity:Finding.Error ~code:"scheduled-in-past"
+          (Printf.sprintf "pid %d scheduled an event at t=%g before now=%g" pid
+             at now)
+  | Engine.Executed { now; _ } ->
+      if now < t.last_exec_time then
+        add t ~severity:Finding.Error ~code:"time-regression"
+          (Printf.sprintf "event executed at t=%g after t=%g" now
+             t.last_exec_time)
+      else t.last_exec_time <- now
+  | Engine.Suspended { token; pid; now } ->
+      if Hashtbl.mem t.tokens token then
+        add t ~severity:Finding.Error ~code:"suspension-token-reused"
+          (Printf.sprintf "suspension token %d reused by pid %d at t=%g" token
+             pid now)
+      else Hashtbl.add t.tokens token false
+  | Engine.Woken { token; pid; now } -> (
+      match Hashtbl.find_opt t.tokens token with
+      | None ->
+          add t ~severity:Finding.Error ~code:"wake-without-suspend"
+            (Printf.sprintf "token %d woken (pid %d, t=%g) but never suspended"
+               token pid now)
+      | Some true ->
+          add t ~severity:Finding.Error ~code:"double-wake"
+            (Printf.sprintf "token %d (pid %d) woken twice, second at t=%g"
+               token pid now)
+      | Some false -> Hashtbl.replace t.tokens token true)
+  | Engine.Sync { name; op; now; _ } -> (
+      match op with
+      | Engine.Acquire { contended }
+      | Engine.Read_acquire { contended }
+      | Engine.Write_acquire { contended } ->
+          let c = counts_for t name in
+          c.acquires <- c.acquires + 1;
+          if contended then c.contended <- c.contended + 1
+      | Engine.Release | Engine.Read_release | Engine.Write_release -> ()
+      | Engine.Barrier_arrive { generation; arrived; parties } ->
+          if arrived < 1 || arrived > parties then
+            add t ~severity:Finding.Error ~code:"barrier-arrival-out-of-range"
+              (Printf.sprintf
+                 "barrier %s: arrival count %d outside 1..%d at t=%g" name
+                 arrived parties now);
+          let last = Option.value ~default:0 (Hashtbl.find_opt t.barriers name) in
+          if generation < last then
+            add t ~severity:Finding.Error ~code:"barrier-generation-regressed"
+              (Printf.sprintf
+                 "barrier %s: arrival saw generation %d after %d at t=%g" name
+                 generation last now)
+          else Hashtbl.replace t.barriers name generation
+      | Engine.Barrier_release { generation } ->
+          let last = Option.value ~default:0 (Hashtbl.find_opt t.barriers name) in
+          if generation <> last + 1 then
+            add t ~severity:Finding.Error ~code:"barrier-generation-skip"
+              (Printf.sprintf
+                 "barrier %s: released generation %d, expected %d at t=%g" name
+                 generation (last + 1) now)
+          else Hashtbl.replace t.barriers name generation)
+
+(* [drained] as in {!Lockdep.finish}: stuck-process checks only make
+   sense when the engine genuinely ran out of events. *)
+let finish ?(drained = true) t =
+  let counter_findings =
+    Hashtbl.fold
+      (fun name c acc ->
+        if c.contended > c.acquires then
+          Finding.make ~severity:Finding.Error ~check:"invariants"
+            ~code:"contended-exceeds-acquisitions"
+            ~message:
+              (Printf.sprintf "%s: %d contended acquisitions out of %d total"
+                 name c.contended c.acquires)
+            ()
+          :: acc
+        else acc)
+      t.locks []
+  in
+  let stuck =
+    if not drained then []
+    else
+      Hashtbl.fold
+        (fun token woken acc ->
+          if woken then acc
+          else
+            Finding.make ~severity:Finding.Warning ~check:"invariants"
+              ~code:"suspended-at-drain"
+              ~message:
+                (Printf.sprintf
+                   "suspension %d was never woken: a process is stuck" token)
+              ()
+            :: acc)
+        t.tokens []
+  in
+  let stable =
+    List.sort (fun (a : Finding.t) b -> String.compare a.message b.message)
+  in
+  List.rev t.findings @ stable counter_findings @ stable stuck

@@ -1,0 +1,31 @@
+(** Orchestrates the analyzers over a scenario: one instrumented run
+    for the static checks (lockdep + invariants, one analyzer state per
+    engine the scenario creates), plus a double run for the determinism
+    checker.  Engine crashes during an instrumented run are converted
+    into findings rather than aborting the analysis. *)
+
+type check = Lockdep | Invariants | Determinism
+
+val all_checks : check list
+
+val check_name : check -> string
+val check_of_string : string -> check option
+
+val checks_of_string : string -> (check list, string) Stdlib.result
+(** Parse a comma-separated selection, e.g. ["lockdep,determinism"].
+    The first unknown name is returned as [Error]. *)
+
+type outcome = {
+  scenario : Scenarios.t;
+  seed : int;
+  checks : check list;
+  findings : Finding.t list;  (** sorted: errors first *)
+  events : int;  (** probe events observed across all runs *)
+  runs : int;  (** scenario executions performed *)
+}
+
+val run : scenario:Scenarios.t -> seed:int -> checks:check list -> unit -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Summary line followed by each finding (or an explicit "all checks
+    clean"). *)

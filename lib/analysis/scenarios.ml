@@ -1,0 +1,124 @@
+(* Stock scenarios for the sanitizer suite: small, fast configurations
+   of the repo's three workload families, plus a deliberately broken
+   [Inversion] scenario that self-tests the lockdep analyzer (and gives
+   [ksurf_cli analyze] something to exit nonzero on).
+
+   Every scenario calls [on_engine] on each engine it creates *before*
+   running it, so callers can attach probes to the full event stream. *)
+
+module Engine = Ksurf_sim.Engine
+module Lock = Ksurf_sim.Lock
+module Env = Ksurf_env.Env
+module Partition = Ksurf_env.Partition
+module Generator = Ksurf_syzgen.Generator
+module Harness = Ksurf_varbench.Harness
+module Apps = Ksurf_tailbench.Apps
+module Runner = Ksurf_tailbench.Runner
+module Cluster = Ksurf_cluster.Cluster
+
+type t = Varbench | Tailbench | Bsp | Inversion
+
+let all = [ Varbench; Tailbench; Bsp; Inversion ]
+
+let to_string = function
+  | Varbench -> "varbench"
+  | Tailbench -> "tailbench"
+  | Bsp -> "bsp"
+  | Inversion -> "inversion"
+
+let of_string = function
+  | "varbench" -> Some Varbench
+  | "tailbench" -> Some Tailbench
+  | "bsp" -> Some Bsp
+  | "inversion" -> Some Inversion
+  | _ -> None
+
+(* Scenarios the sanitizers must pass on; [Inversion] is the negative
+   control and is excluded on purpose. *)
+let stock = [ Varbench; Tailbench; Bsp ]
+
+let small_corpus ~seed =
+  (Generator.run
+     ~params:{ Generator.default_params with Generator.seed; target_programs = 8 }
+     ())
+    .Generator.corpus
+
+let app () =
+  match Apps.by_name "silo" with Some a -> a | None -> List.hd Apps.all
+
+let run_varbench ~seed ~on_engine =
+  let engine = Engine.create ~seed () in
+  on_engine engine;
+  let env =
+    Env.deploy ~engine Env.Native
+      (Partition.equal_split ~units:2 ~total_cores:8 ~total_mem_mb:8192)
+  in
+  let corpus = small_corpus ~seed in
+  ignore
+    (Harness.run ~env ~corpus
+       ~params:{ Harness.iterations = 4; warmup_iterations = 1 }
+       ())
+
+let run_tailbench ~seed ~on_engine =
+  let config =
+    {
+      Runner.default_config with
+      Runner.requests = 250;
+      seed;
+      units = 2;
+      unit_cores = 4;
+      unit_mem_mb = 2048;
+    }
+  in
+  ignore
+    (Runner.run_single_node ~app:(app ()) ~kind:Env.Native ~contended:false
+       ~config ~on_engine ())
+
+let run_bsp ~seed ~on_engine =
+  let config =
+    {
+      Cluster.default_config with
+      Cluster.nodes_simulated = 1;
+      sim_iterations_per_node = 6;
+      warmup_iterations = 1;
+      requests_per_iteration = 10;
+      units = 2;
+      unit_cores = 4;
+      unit_mem_mb = 2048;
+      seed;
+    }
+  in
+  ignore
+    (Cluster.run ~app:(app ()) ~kind:Env.Native ~contended:false ~config
+       ~on_engine ())
+
+(* AB in one process, BA in another, far enough apart in virtual time
+   that the run completes — the cycle is only *potential*, which is
+   exactly what lockdep exists to catch. *)
+let run_inversion ~seed ~on_engine =
+  let engine = Engine.create ~seed () in
+  on_engine engine;
+  let a = Lock.create ~engine ~name:"inv.alpha" in
+  let b = Lock.create ~engine ~name:"inv.beta" in
+  Engine.spawn engine (fun () ->
+      Lock.acquire a;
+      Engine.delay 5.0;
+      Lock.acquire b;
+      Engine.delay 1.0;
+      Lock.release b;
+      Lock.release a);
+  Engine.spawn ~at:20.0 engine (fun () ->
+      Lock.acquire b;
+      Engine.delay 5.0;
+      Lock.acquire a;
+      Engine.delay 1.0;
+      Lock.release a;
+      Lock.release b);
+  Engine.run engine
+
+let run t ~seed ~on_engine =
+  match t with
+  | Varbench -> run_varbench ~seed ~on_engine
+  | Tailbench -> run_tailbench ~seed ~on_engine
+  | Bsp -> run_bsp ~seed ~on_engine
+  | Inversion -> run_inversion ~seed ~on_engine

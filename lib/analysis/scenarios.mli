@@ -1,0 +1,20 @@
+(** Stock scenarios for the sanitizer suite: small, fast configurations
+    of the repo's three workload families, plus a deliberately broken
+    [Inversion] scenario (an AB/BA lock-order inversion at disjoint
+    virtual times) that self-tests the lockdep analyzer. *)
+
+type t = Varbench | Tailbench | Bsp | Inversion
+
+val all : t list
+
+val stock : t list
+(** Scenarios the sanitizers must pass on; [Inversion] is the negative
+    control and is excluded on purpose. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val run : t -> seed:int -> on_engine:(Ksurf_sim.Engine.t -> unit) -> unit
+(** Execute one scenario run.  [on_engine] is called on every engine
+    the scenario creates, before anything is spawned on it — attach
+    probes there.  Deterministic for a given seed. *)

@@ -54,9 +54,12 @@ type result = {
 (* Fully simulate one node: the app in unit 0, noise in units 1-3 when
    contended, iteration = a fixed burst of requests followed by a local
    quiescent point.  Returns per-iteration durations (warm-up dropped). *)
-let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed =
+let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed
+    ~on_engine =
   let compiled = Service.compile app in
   let engine = Engine.create ~seed:node_seed () in
+  (* Observer hook: lets sanitizers attach probes before anything runs. *)
+  on_engine engine;
   let partition =
     Partition.equal_split ~units:config.units
       ~total_cores:(config.units * config.unit_cores)
@@ -129,7 +132,8 @@ let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed =
   Engine.run ~stop:(fun () -> !finished) engine;
   Array.of_list (List.rev !durations)
 
-let run ~app ~kind ~contended ?(config = default_config) ?noise_corpus () =
+let run ~app ~kind ~contended ?(config = default_config) ?noise_corpus
+    ?(on_engine = fun (_ : Engine.t) -> ()) () =
   if config.nodes_simulated < 1 then invalid_arg "Cluster.run: need >= 1 node";
   let noise_corpus =
     match noise_corpus with
@@ -152,7 +156,8 @@ let run ~app ~kind ~contended ?(config = default_config) ?noise_corpus () =
     Array.concat
       (List.init config.nodes_simulated (fun node ->
            simulate_node ~app ~kind ~contended ~config ~noise_corpus
-             ~node_seed:(config.seed + (node * 7919))))
+             ~node_seed:(config.seed + (node * 7919))
+             ~on_engine))
   in
   if Array.length pool = 0 then failwith "Cluster.run: no iteration samples";
   (* Synthesise the BSP runtime: nodes are independent given the

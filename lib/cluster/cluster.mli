@@ -54,9 +54,12 @@ val run :
   contended:bool ->
   ?config:config ->
   ?noise_corpus:Ksurf_syzgen.Corpus.t ->
+  ?on_engine:(Ksurf_sim.Engine.t -> unit) ->
   unit ->
   result
-(** One cell of Figure 4.  Deterministic for a given seed. *)
+(** One cell of Figure 4.  [on_engine] is called on each simulated
+    node's engine right after creation — the hook sanitizers use to
+    attach probes.  Deterministic for a given seed. *)
 
 val relative_loss : isolated:result -> contended:result -> float
 (** Figure 4(c): percent runtime increase from isolated to contended. *)

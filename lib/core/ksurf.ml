@@ -15,6 +15,8 @@
     - {!Machine}, {!Partition}, {!Env} — deployments and surface-area
       partitioning
     - {!Harness}, {!Study}, {!Noise} — the varbench measurement harness
+    - {!Analysis} — opt-in sanitizers: lockdep, determinism checker,
+      engine invariants (see [ksurf_cli analyze])
     - {!Apps}, {!Service}, {!Runner}, {!Cluster} — tailbench workloads,
       single-node and 64-node experiments
     - {!Experiments} — drivers that regenerate every table and figure
@@ -77,6 +79,8 @@ module Apps = Ksurf_tailbench.Apps
 module Service = Ksurf_tailbench.Service
 module Runner = Ksurf_tailbench.Runner
 module Cluster = Ksurf_cluster.Cluster
+
+module Analysis = Ksurf_analysis
 
 module Report = Ksurf_report.Report
 module Csv = Ksurf_report.Csv

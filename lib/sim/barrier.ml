@@ -14,14 +14,29 @@ let create ~engine ~name ~parties =
 let generation t = t.generation
 let waiting t = t.arrived
 
+let emit t op =
+  Engine.emit t.engine
+    (Engine.Sync
+       {
+         now = Engine.now t.engine;
+         pid = Engine.current_pid t.engine;
+         name = t.name;
+         op;
+       })
+
 let arrive t =
-  ignore (Engine.now t.engine);
   t.arrived <- t.arrived + 1;
+  if Engine.observed t.engine then
+    emit t
+      (Engine.Barrier_arrive
+         { generation = t.generation; arrived = t.arrived; parties = t.parties });
   if t.arrived < t.parties then Engine.suspend (fun wake -> Queue.push wake t.waiters)
   else begin
     (* Last arrival: release everyone, start a new generation. *)
     t.arrived <- 0;
     t.generation <- t.generation + 1;
+    if Engine.observed t.engine then
+      emit t (Engine.Barrier_release { generation = t.generation });
     Queue.iter (fun wake -> wake ()) t.waiters;
     Queue.clear t.waiters
   end

@@ -4,7 +4,42 @@ type t = {
   heap : (unit -> unit) Heap.t;
   root_rng : Ksurf_util.Prng.t;
   mutable executed : int;
+  (* Observer layer: analyzers (lockdep, determinism, invariants)
+     register probes; the hot path only pays when one is attached. *)
+  mutable probes : (event_info -> unit) list;
+  (* Process identity: every [spawn] gets a fresh pid, and continuations
+     (delay/suspend wake-ups) run under the pid that created them, so
+     probes can attribute lock operations to logical processes. *)
+  mutable cur_pid : int;
+  mutable next_pid : int;
+  mutable next_token : int;
 }
+
+(* Probe events.  Synchronization primitives (lock.ml, rwlock.ml,
+   barrier.ml) funnel their events through the engine so one
+   [add_probe] observes a whole simulation; the types live here to
+   avoid dependency cycles inside the library. *)
+and event_info =
+  | Scheduled of { now : float; at : float; pid : int }
+      (** an event was pushed on the heap, to run as [pid] *)
+  | Executed of { now : float; pid : int }
+      (** a heap event started executing *)
+  | Suspended of { now : float; pid : int; token : int }
+      (** [pid] parked on a wait queue; [token] identifies the suspension *)
+  | Woken of { now : float; pid : int; token : int }
+      (** suspension [token] was woken *)
+  | Sync of { now : float; pid : int; name : string; op : sync_op }
+      (** a synchronization-primitive operation on primitive [name] *)
+
+and sync_op =
+  | Acquire of { contended : bool }
+  | Release
+  | Read_acquire of { contended : bool }
+  | Read_release
+  | Write_acquire of { contended : bool }
+  | Write_release
+  | Barrier_arrive of { generation : int; arrived : int; parties : int }
+  | Barrier_release of { generation : int }
 
 exception Process_error of string * exn
 
@@ -20,19 +55,50 @@ type _ Effect.t +=
 let current : t option ref = ref None
 
 let create ?(seed = 0) () =
-  { now = 0.0; seq = 0; heap = Heap.create (); root_rng = Ksurf_util.Prng.create seed; executed = 0 }
+  {
+    now = 0.0;
+    seq = 0;
+    heap = Heap.create ();
+    root_rng = Ksurf_util.Prng.create seed;
+    executed = 0;
+    probes = [];
+    cur_pid = 0;
+    next_pid = 0;
+    next_token = 0;
+  }
 
 let now t = t.now
 let rng t = t.root_rng
 let pending t = Heap.size t.heap
 let events_executed t = t.executed
 
-let schedule t ~at thunk =
+let add_probe t probe = t.probes <- t.probes @ [ probe ]
+let clear_probes t = t.probes <- []
+let observed t = t.probes <> []
+let emit t info = List.iter (fun probe -> probe info) t.probes
+let current_pid t = t.cur_pid
+
+let schedule_pid t ~pid ~at thunk =
+  (* Emit before validating so a sanitizer records the violation even
+     though the engine still refuses it. *)
+  if observed t then emit t (Scheduled { now = t.now; at; pid });
   if at < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now %g" at t.now);
   t.seq <- t.seq + 1;
-  Heap.push t.heap ~time:at ~seq:t.seq thunk
+  let run () =
+    let saved = t.cur_pid in
+    t.cur_pid <- pid;
+    if observed t then emit t (Executed { now = t.now; pid });
+    match thunk () with
+    | () -> t.cur_pid <- saved
+    | exception exn ->
+        t.cur_pid <- saved;
+        raise exn
+  in
+  Heap.push t.heap ~time:at ~seq:t.seq run
+
+let schedule t ~at thunk = schedule_pid t ~pid:t.cur_pid ~at thunk
 
 let handle t f =
   let open Effect.Deep in
@@ -52,11 +118,19 @@ let handle t f =
           | Suspend (eng, register) when eng == t ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  let pid = t.cur_pid in
+                  t.next_token <- t.next_token + 1;
+                  let token = t.next_token in
+                  if observed t then
+                    emit t (Suspended { now = t.now; pid; token });
                   let woken = ref false in
                   let wake () =
+                    if observed t then emit t (Woken { now = t.now; pid; token });
                     if !woken then failwith "Engine: process woken twice";
                     woken := true;
-                    schedule t ~at:t.now (fun () -> continue k ())
+                    (* The continuation resumes under the suspended
+                       process's pid, not the waker's. *)
+                    schedule_pid t ~pid ~at:t.now (fun () -> continue k ())
                   in
                   register wake)
           | _ -> None);
@@ -64,7 +138,9 @@ let handle t f =
 
 let spawn ?at t f =
   let at = match at with Some a -> a | None -> t.now in
-  schedule t ~at (fun () -> handle t f)
+  t.next_pid <- t.next_pid + 1;
+  let pid = t.next_pid in
+  schedule_pid t ~pid ~at (fun () -> handle t f)
 
 let engine_of_process name =
   match !current with

@@ -18,8 +18,50 @@
 
 type t
 
+(** Probe events, in engine order.  Emitted only while at least one
+    probe is registered (see {!add_probe}); the instrumented hot paths
+    are otherwise untouched.  [pid] identifies the simulated process
+    (0 outside any process), [token] a single suspension. *)
+type event_info =
+  | Scheduled of { now : float; at : float; pid : int }
+  | Executed of { now : float; pid : int }
+  | Suspended of { now : float; pid : int; token : int }
+  | Woken of { now : float; pid : int; token : int }
+  | Sync of { now : float; pid : int; name : string; op : sync_op }
+
+(** Synchronisation-primitive operations, reported by {!Lock},
+    {!Rwlock} and {!Barrier} through their engine.  Acquire events are
+    emitted at {e intent} time — before any blocking — so deadlocked
+    acquisitions still reach the probes. *)
+and sync_op =
+  | Acquire of { contended : bool }
+  | Release
+  | Read_acquire of { contended : bool }
+  | Read_release
+  | Write_acquire of { contended : bool }
+  | Write_release
+  | Barrier_arrive of { generation : int; arrived : int; parties : int }
+  | Barrier_release of { generation : int }
+
 val create : ?seed:int -> unit -> t
 (** Fresh engine at virtual time 0 (nanoseconds by ksurf convention). *)
+
+val add_probe : t -> (event_info -> unit) -> unit
+(** Register an observer called synchronously on every {!event_info}.
+    Probes must not call back into the engine. *)
+
+val clear_probes : t -> unit
+
+val observed : t -> bool
+(** [true] iff at least one probe is registered — instrumented call
+    sites use this to skip event construction entirely. *)
+
+val emit : t -> event_info -> unit
+(** Deliver an event to every registered probe (no-op when none).
+    Exposed for the sync primitives; ordinary code never calls it. *)
+
+val current_pid : t -> int
+(** Pid of the currently executing process, or 0 outside processes. *)
 
 val now : t -> float
 val rng : t -> Ksurf_util.Prng.t

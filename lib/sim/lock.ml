@@ -31,8 +31,23 @@ let contended_acquisitions t = t.contended
 let wait_stats t = t.wait_stats
 let hold_stats t = t.hold_stats
 
+(* Probe events are emitted at *intent* time — before any blocking — so
+   a lock-order analyzer sees the acquisition order even when a request
+   deadlocks and never completes (exactly what it exists to catch). *)
+let emit t op =
+  Engine.emit t.engine
+    (Engine.Sync
+       {
+         now = Engine.now t.engine;
+         pid = Engine.current_pid t.engine;
+         name = t.name;
+         op;
+       })
+
 let acquire t =
   let start = Engine.now t.engine in
+  if Engine.observed t.engine then
+    emit t (Engine.Acquire { contended = t.held });
   if not t.held then t.held <- true
   else begin
     t.contended <- t.contended + 1;
@@ -45,7 +60,9 @@ let acquire t =
   Ksurf_util.Welford.add t.wait_stats (Engine.now t.engine -. start)
 
 let release t =
-  if not t.held then failwith (Printf.sprintf "Lock.release: %s not held" t.name);
+  if Engine.observed t.engine then emit t Engine.Release;
+  if not t.held then
+    invalid_arg (Printf.sprintf "Lock.release: %s is not held" t.name);
   Ksurf_util.Welford.add t.hold_stats (Engine.now t.engine -. t.acquired_at);
   match Queue.take_opt t.waiters with
   | Some wake ->

@@ -15,7 +15,7 @@ val acquire : t -> unit
 (** Block (in virtual time) until the lock is owned by the caller. *)
 
 val release : t -> unit
-(** Raises [Failure] if the lock is not held. *)
+(** Raises [Invalid_argument] (naming the lock) if it is not held. *)
 
 val with_hold : t -> float -> unit
 (** [with_hold l d] acquires, holds for [d] nanoseconds, releases.  The

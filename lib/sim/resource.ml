@@ -35,7 +35,8 @@ let acquire t =
   Ksurf_util.Welford.add t.wait_stats (Engine.now t.engine -. start)
 
 let release t =
-  if t.in_use <= 0 then failwith (t.name ^ ": release on idle resource");
+  if t.in_use <= 0 then
+    invalid_arg (Printf.sprintf "Resource.release: %s is idle" t.name);
   match Queue.take_opt t.waiters with
   | Some wake -> wake () (* slot transfers: in_use unchanged *)
   | None -> t.in_use <- t.in_use - 1

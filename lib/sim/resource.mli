@@ -11,7 +11,11 @@ val create : engine:Engine.t -> name:string -> capacity:int -> t
 (** Raises [Invalid_argument] if capacity < 1. *)
 
 val acquire : t -> unit
+
 val release : t -> unit
+(** Raises [Invalid_argument] (naming the station) if no slot is in
+    use. *)
+
 val serve : t -> float -> unit
 (** [serve r d] acquires a slot, holds it for [d] ns, releases. *)
 

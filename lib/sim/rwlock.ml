@@ -26,6 +26,17 @@ let wait_stats t = t.wait_stats
 let record_wait t start =
   Ksurf_util.Welford.add t.wait_stats (Engine.now t.engine -. start)
 
+(* Like Lock, probe events fire at intent time, before blocking. *)
+let emit t op =
+  Engine.emit t.engine
+    (Engine.Sync
+       {
+         now = Engine.now t.engine;
+         pid = Engine.current_pid t.engine;
+         name = t.name;
+         op;
+       })
+
 (* A write waiter anywhere in the queue blocks new readers (writer
    preference), preventing writer starvation under read-heavy load. *)
 let write_waiting t =
@@ -34,13 +45,19 @@ let write_waiting t =
 
 let acquire_read t =
   let start = Engine.now t.engine in
-  if (not t.writer) && not (write_waiting t) then t.readers <- t.readers + 1
+  let granted = (not t.writer) && not (write_waiting t) in
+  if Engine.observed t.engine then
+    emit t (Engine.Read_acquire { contended = not granted });
+  if granted then t.readers <- t.readers + 1
   else Engine.suspend (fun wake -> Queue.push (Read wake) t.queue);
   record_wait t start
 
 let acquire_write t =
   let start = Engine.now t.engine in
-  if (not t.writer) && t.readers = 0 && Queue.is_empty t.queue then t.writer <- true
+  let granted = (not t.writer) && t.readers = 0 && Queue.is_empty t.queue in
+  if Engine.observed t.engine then
+    emit t (Engine.Write_acquire { contended = not granted });
+  if granted then t.writer <- true
   else Engine.suspend (fun wake -> Queue.push (Write wake) t.queue);
   record_wait t start
 
@@ -72,12 +89,18 @@ let drain t =
         grant_reads ()
 
 let release_read t =
-  if t.readers <= 0 then failwith (t.name ^ ": release_read without readers");
+  if Engine.observed t.engine then emit t Engine.Read_release;
+  if t.readers <= 0 then
+    invalid_arg
+      (Printf.sprintf "Rwlock.release_read: %s has no readers" t.name);
   t.readers <- t.readers - 1;
   drain t
 
 let release_write t =
-  if not t.writer then failwith (t.name ^ ": release_write without writer");
+  if Engine.observed t.engine then emit t Engine.Write_release;
+  if not t.writer then
+    invalid_arg
+      (Printf.sprintf "Rwlock.release_write: %s has no writer" t.name);
   t.writer <- false;
   drain t
 

@@ -10,9 +10,14 @@ type t
 val create : engine:Engine.t -> name:string -> t
 
 val acquire_read : t -> unit
+
 val release_read : t -> unit
+(** Raises [Invalid_argument] (naming the lock) if no reader holds it. *)
+
 val acquire_write : t -> unit
+
 val release_write : t -> unit
+(** Raises [Invalid_argument] (naming the lock) if no writer holds it. *)
 
 val with_read : t -> float -> unit
 (** Hold for reading for a fixed duration. *)

@@ -44,9 +44,11 @@ type result = {
 }
 
 let run_single_node ~app ~kind ~contended ?(config = default_config)
-    ?noise_corpus () =
+    ?noise_corpus ?(on_engine = fun (_ : Engine.t) -> ()) () =
   let compiled = Service.compile app in
   let engine = Engine.create ~seed:config.seed () in
+  (* Observer hook: lets sanitizers attach probes before anything runs. *)
+  on_engine engine;
   let partition =
     Partition.equal_split ~units:config.units
       ~total_cores:(config.units * config.unit_cores)

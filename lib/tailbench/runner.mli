@@ -42,11 +42,14 @@ val run_single_node :
   contended:bool ->
   ?config:config ->
   ?noise_corpus:Ksurf_syzgen.Corpus.t ->
+  ?on_engine:(Ksurf_sim.Engine.t -> unit) ->
   unit ->
   result
 (** One cell of Figure 3.  [noise_corpus] defaults to a freshly
-    generated corpus (pass one in to share across cells).  Deterministic
-    for a given seed. *)
+    generated corpus (pass one in to share across cells).  [on_engine]
+    is called on the freshly created engine before anything is spawned —
+    the hook sanitizers use to attach probes.  Deterministic for a given
+    seed. *)
 
 val percent_increase : isolated:result -> contended:result -> float
 (** Figure 3(c): p99 increase from the isolated to the contended run,

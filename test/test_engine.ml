@@ -157,6 +157,72 @@ let test_pending () =
   Engine.run engine;
   Alcotest.(check int) "drained" 0 (Engine.pending engine)
 
+let test_probe_event_sequence () =
+  let engine = Engine.create () in
+  Alcotest.(check bool) "unobserved by default" false (Engine.observed engine);
+  let events = ref [] in
+  Engine.add_probe engine (fun e -> events := e :: !events);
+  Alcotest.(check bool) "observed once registered" true
+    (Engine.observed engine);
+  Alcotest.(check int) "no process outside run" 0 (Engine.current_pid engine);
+  let wake_fn = ref (fun () -> ()) in
+  let inner_pid = ref 0 in
+  Engine.spawn engine (fun () ->
+      inner_pid := Engine.current_pid engine;
+      Engine.suspend (fun wake -> wake_fn := wake));
+  Engine.spawn engine (fun () ->
+      Engine.delay 5.0;
+      !wake_fn ());
+  Engine.run engine;
+  Alcotest.(check int) "process sees its own pid" 1 !inner_pid;
+  Alcotest.(check int) "pid restored after drain" 0
+    (Engine.current_pid engine);
+  let expected =
+    [
+      Engine.Scheduled { now = 0.0; at = 0.0; pid = 1 };
+      Engine.Scheduled { now = 0.0; at = 0.0; pid = 2 };
+      Engine.Executed { now = 0.0; pid = 1 };
+      Engine.Suspended { now = 0.0; pid = 1; token = 1 };
+      Engine.Executed { now = 0.0; pid = 2 };
+      Engine.Scheduled { now = 0.0; at = 5.0; pid = 2 };
+      Engine.Executed { now = 5.0; pid = 2 };
+      (* The wake is attributed to the suspended process (pid 1), not
+         the waker (pid 2): ownership transfers back on resume. *)
+      Engine.Woken { now = 5.0; pid = 1; token = 1 };
+      Engine.Scheduled { now = 5.0; at = 5.0; pid = 1 };
+      Engine.Executed { now = 5.0; pid = 1 };
+    ]
+  in
+  Alcotest.(check int) "event count" (List.length expected)
+    (List.length (List.rev !events));
+  Alcotest.(check bool) "exact probe sequence" true
+    (List.rev !events = expected);
+  Engine.clear_probes engine;
+  Alcotest.(check bool) "cleared" false (Engine.observed engine)
+
+let test_suspend_double_wake_probe () =
+  (* The second wake still reaches probes before the engine raises, so
+     sanitizers can report it with full context. *)
+  let engine = Engine.create () in
+  let wakes = ref [] in
+  Engine.add_probe engine (fun e ->
+      match e with
+      | Engine.Woken { token; _ } -> wakes := token :: !wakes
+      | _ -> ());
+  let wake_fn = ref (fun () -> ()) in
+  Engine.spawn engine (fun () -> Engine.suspend (fun wake -> wake_fn := wake));
+  Engine.spawn engine (fun () ->
+      Engine.delay 1.0;
+      !wake_fn ();
+      !wake_fn ());
+  Alcotest.(check bool) "second wake raises" true
+    (try
+       Engine.run engine;
+       false
+     with Engine.Process_error (_, Failure _) -> true);
+  Alcotest.(check (list int)) "both wakes observed, same token" [ 1; 1 ]
+    !wakes
+
 let qcheck_delays_sum =
   QCheck.Test.make ~name:"sequential delays accumulate" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_exclusive 1000.0))
@@ -188,5 +254,8 @@ let suite =
     Alcotest.test_case "delay outside process" `Quick
       test_delay_outside_process_fails;
     Alcotest.test_case "pending" `Quick test_pending;
+    Alcotest.test_case "probe event sequence" `Quick test_probe_event_sequence;
+    Alcotest.test_case "double wake reaches probes" `Quick
+      test_suspend_double_wake_probe;
     QCheck_alcotest.to_alcotest qcheck_delays_sum;
   ]

@@ -69,11 +69,13 @@ let test_release_unheld_fails () =
   let engine = Engine.create () in
   let lock = Lock.create ~engine ~name:"naked" in
   Engine.spawn engine (fun () -> Lock.release lock);
-  Alcotest.(check bool) "raises" true
+  Alcotest.(check bool) "raises, naming the lock" true
     (try
        Engine.run engine;
        false
-     with Engine.Process_error (_, Failure _) -> true)
+     with Engine.Process_error (_, Invalid_argument msg) ->
+       (* The message must identify the offending lock. *)
+       Test_util.contains ~sub:"naked" msg)
 
 let test_with_lock_releases_on_exception () =
   let engine = Engine.create () in

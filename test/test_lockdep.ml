@@ -1,0 +1,153 @@
+open Ksurf
+module Lockdep = Ksurf_analysis.Lockdep
+module Finding = Ksurf_analysis.Finding
+module Scenarios = Ksurf_analysis.Scenarios
+
+let sync ?(pid = 1) ?(time = 0.0) name op =
+  Engine.Sync { now = time; pid; name; op }
+
+let acquire ?pid ?time name =
+  sync ?pid ?time name (Engine.Acquire { contended = false })
+
+let release ?pid ?time name = sync ?pid ?time name Engine.Release
+
+let codes findings = List.map (fun (f : Finding.t) -> f.Finding.code) findings
+
+let test_class_of_instance () =
+  let check input expected =
+    Alcotest.(check string) input expected (Lockdep.class_of_instance input)
+  in
+  (* Kernel-instance prefix and stripe suffix both stripped. *)
+  check "k0.inode[3]" "inode";
+  check "k12.dcache" "dcache";
+  check "k3.runqueue[15]" "runqueue";
+  (* Stripe suffix alone. *)
+  check "mailbox[7]" "mailbox";
+  (* Names that merely resemble the pattern stay untouched. *)
+  check "varbench" "varbench";
+  check "inv.alpha" "inv.alpha";
+  check "kfoo.x" "kfoo.x";
+  check "k.x" "k.x"
+
+let test_inversion_reports_one_cycle () =
+  (* The stock Inversion scenario: AB in one process, BA in another, at
+     disjoint times so the run completes.  Exactly one cycle naming
+     both lock classes. *)
+  let state = Lockdep.create () in
+  Scenarios.run Scenarios.Inversion ~seed:42 ~on_engine:(fun engine ->
+      Engine.add_probe engine (Lockdep.on_event state));
+  let findings = Lockdep.finish state in
+  let cycles =
+    List.filter (fun f -> f.Finding.code = "lock-order-cycle") findings
+  in
+  Alcotest.(check int) "exactly one cycle" 1 (List.length cycles);
+  let cycle = List.hd cycles in
+  Alcotest.(check bool) "names alpha" true
+    (Test_util.contains ~sub:"inv.alpha" cycle.Finding.message);
+  Alcotest.(check bool) "names beta" true
+    (Test_util.contains ~sub:"inv.beta" cycle.Finding.message);
+  Alcotest.(check bool) "witness shows both edges" true
+    (List.length cycle.Finding.witness = 2);
+  (* Nothing else: the scenario releases everything and never
+     double-acquires. *)
+  Alcotest.(check (list string)) "only the cycle" [ "lock-order-cycle" ]
+    (codes findings)
+
+let test_consistent_order_is_clean () =
+  let engine = Engine.create () in
+  let state = Lockdep.create () in
+  Engine.add_probe engine (Lockdep.on_event state);
+  let a = Lock.create ~engine ~name:"ord.a" in
+  let b = Lock.create ~engine ~name:"ord.b" in
+  for i = 0 to 1 do
+    Engine.spawn ~at:(float_of_int (i * 10)) engine (fun () ->
+        Lock.acquire a;
+        Lock.acquire b;
+        Engine.delay 1.0;
+        Lock.release b;
+        Lock.release a)
+  done;
+  Engine.run engine;
+  Alcotest.(check bool) "events observed" true (Lockdep.sync_events state > 0);
+  Alcotest.(check bool) "one class edge" true (Lockdep.edge_count state = 1);
+  Alcotest.(check (list string)) "no findings" [] (codes (Lockdep.finish state))
+
+let test_double_acquire () =
+  let state = Lockdep.create () in
+  Lockdep.on_event state (acquire "dup");
+  Lockdep.on_event state (acquire ~time:5.0 "dup");
+  let findings = Lockdep.finish ~drained:false state in
+  Alcotest.(check bool) "double-acquire reported" true
+    (List.mem "double-acquire" (codes findings));
+  let f =
+    List.find (fun f -> f.Finding.code = "double-acquire") findings
+  in
+  Alcotest.(check bool) "names the lock" true
+    (Test_util.contains ~sub:"dup" f.Finding.message)
+
+let test_release_not_held () =
+  let state = Lockdep.create () in
+  (* pid 2 releases what pid 1 holds: lockdep tracks per-pid stacks. *)
+  Lockdep.on_event state (acquire ~pid:1 "xfer");
+  Lockdep.on_event state (release ~pid:2 ~time:3.0 "xfer");
+  let findings = Lockdep.finish ~drained:false state in
+  Alcotest.(check bool) "release-not-held reported" true
+    (List.mem "release-not-held" (codes findings))
+
+let test_held_at_drain () =
+  let state = Lockdep.create () in
+  Lockdep.on_event state (acquire "leak");
+  Alcotest.(check (list string)) "leak reported when drained"
+    [ "held-at-drain" ]
+    (codes (Lockdep.finish ~drained:true state));
+  Alcotest.(check (list string)) "suppressed when stopped early" []
+    (codes (Lockdep.finish ~drained:false state))
+
+let test_same_class_nesting_is_self_cycle () =
+  (* Two stripes of one class nested: a self-edge on the class, which
+     is a real deadlock risk between two processes nesting in opposite
+     stripe order. *)
+  let state = Lockdep.create () in
+  Lockdep.on_event state (acquire "k0.inode[1]");
+  Lockdep.on_event state (acquire ~time:1.0 "k0.inode[2]");
+  Lockdep.on_event state (release ~time:2.0 "k0.inode[2]");
+  Lockdep.on_event state (release ~time:3.0 "k0.inode[1]");
+  let findings = Lockdep.finish state in
+  Alcotest.(check (list string)) "self-cycle on the class"
+    [ "lock-order-cycle" ] (codes findings);
+  let f = List.hd findings in
+  Alcotest.(check bool) "names the class" true
+    (Test_util.contains ~sub:"inode" f.Finding.message)
+
+let test_read_write_modes_tracked () =
+  let state = Lockdep.create () in
+  Lockdep.on_event state
+    (sync "rw.map" (Engine.Write_acquire { contended = false }));
+  Lockdep.on_event state (sync ~time:1.0 "plain" (Engine.Acquire { contended = false }));
+  Lockdep.on_event state (sync ~time:2.0 "plain" Engine.Release);
+  Lockdep.on_event state (sync ~time:3.0 "rw.map" Engine.Write_release);
+  (* Opposite order elsewhere through the read side. *)
+  Lockdep.on_event state
+    (sync ~pid:2 ~time:10.0 "plain" (Engine.Acquire { contended = false }));
+  Lockdep.on_event state
+    (sync ~pid:2 ~time:11.0 "rw.map" (Engine.Read_acquire { contended = false }));
+  Lockdep.on_event state (sync ~pid:2 ~time:12.0 "rw.map" Engine.Read_release);
+  Lockdep.on_event state (sync ~pid:2 ~time:13.0 "plain" Engine.Release);
+  let findings = Lockdep.finish state in
+  Alcotest.(check (list string)) "rwlock participates in cycles"
+    [ "lock-order-cycle" ] (codes findings)
+
+let suite =
+  [
+    Alcotest.test_case "class of instance" `Quick test_class_of_instance;
+    Alcotest.test_case "inversion: exactly one cycle" `Quick
+      test_inversion_reports_one_cycle;
+    Alcotest.test_case "consistent order clean" `Quick
+      test_consistent_order_is_clean;
+    Alcotest.test_case "double acquire" `Quick test_double_acquire;
+    Alcotest.test_case "release not held" `Quick test_release_not_held;
+    Alcotest.test_case "held at drain" `Quick test_held_at_drain;
+    Alcotest.test_case "same-class nesting" `Quick
+      test_same_class_nesting_is_self_cycle;
+    Alcotest.test_case "read/write modes" `Quick test_read_write_modes_tracked;
+  ]

@@ -29,6 +29,8 @@ let () =
       ("varbench", Test_varbench.suite);
       ("tailbench", Test_tailbench.suite);
       ("cluster", Test_cluster.suite);
+      ("lockdep", Test_lockdep.suite);
+      ("analysis", Test_analysis.suite);
       ("report", Test_report.suite);
       ("experiments", Test_experiments.suite);
       ("export", Test_export.suite);

@@ -50,11 +50,12 @@ let test_release_idle_fails () =
   let engine = Engine.create () in
   let r = Resource.create ~engine ~name:"r" ~capacity:1 in
   Engine.spawn engine (fun () -> Resource.release r);
-  Alcotest.(check bool) "raises" true
+  Alcotest.(check bool) "raises, naming the station" true
     (try
        Engine.run engine;
        false
-     with Engine.Process_error (_, Failure _) -> true)
+     with Engine.Process_error (_, Invalid_argument msg) ->
+       Test_util.contains ~sub:"r" msg)
 
 let test_served_counter () =
   let engine = Engine.create () in

@@ -77,11 +77,21 @@ let test_bad_release () =
   let engine = Engine.create () in
   let rw = Rwlock.create ~engine ~name:"rw" in
   Engine.spawn engine (fun () -> Rwlock.release_read rw);
-  Alcotest.(check bool) "raises" true
+  Alcotest.(check bool) "read release raises, naming the lock" true
     (try
        Engine.run engine;
        false
-     with Engine.Process_error (_, Failure _) -> true)
+     with Engine.Process_error (_, Invalid_argument msg) ->
+       Test_util.contains ~sub:"rw" msg);
+  let engine = Engine.create () in
+  let rw = Rwlock.create ~engine ~name:"rw2" in
+  Engine.spawn engine (fun () -> Rwlock.release_write rw);
+  Alcotest.(check bool) "write release raises, naming the lock" true
+    (try
+       Engine.run engine;
+       false
+     with Engine.Process_error (_, Invalid_argument msg) ->
+       Test_util.contains ~sub:"rw2" msg)
 
 let test_readers_resume_after_writer () =
   let engine = Engine.create () in

@@ -26,6 +26,26 @@ let test_ring_drops_oldest () =
   Alcotest.(check int) "recorded" 5 (Trace.recorded trace);
   Alcotest.(check int) "dropped" 2 (Trace.dropped trace)
 
+let test_ring_accounting_at_boundary () =
+  (* Exactly at capacity: everything retained, nothing dropped. *)
+  let engine = Engine.create () in
+  let trace = Trace.create ~capacity:3 ~engine () in
+  List.iter (Trace.record trace) [ "a"; "b"; "c" ];
+  Alcotest.(check int) "recorded at capacity" 3 (Trace.recorded trace);
+  Alcotest.(check int) "nothing dropped at capacity" 0 (Trace.dropped trace);
+  Alcotest.(check (list string)) "all retained" [ "a"; "b"; "c" ]
+    (List.map snd (Trace.events trace));
+  (* One past capacity: exactly one drop, newest suffix retained. *)
+  Trace.record trace "d";
+  Alcotest.(check int) "recorded past capacity" 4 (Trace.recorded trace);
+  Alcotest.(check int) "one dropped" 1 (Trace.dropped trace);
+  Alcotest.(check (list string)) "oldest evicted" [ "b"; "c"; "d" ]
+    (List.map snd (Trace.events trace));
+  (* Invariant: recorded = dropped + retained, at every point. *)
+  Alcotest.(check int) "recorded = dropped + retained"
+    (Trace.recorded trace)
+    (Trace.dropped trace + List.length (Trace.events trace))
+
 let test_clear () =
   let engine = Engine.create () in
   let trace = Trace.create ~capacity:4 ~engine () in
@@ -67,6 +87,8 @@ let suite =
   [
     Alcotest.test_case "records in order" `Quick test_records_in_order;
     Alcotest.test_case "ring drops oldest" `Quick test_ring_drops_oldest;
+    Alcotest.test_case "ring accounting at boundary" `Quick
+      test_ring_accounting_at_boundary;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
     Alcotest.test_case "pp" `Quick test_pp;
