@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test analyze-smoke check clean
+.PHONY: all build test analyze-smoke inject-smoke check clean
 
 all: build
 
@@ -16,7 +16,13 @@ test:
 analyze-smoke:
 	dune exec bin/ksurf_cli.exe -- analyze --scenario varbench --seed 42
 
-check: build test analyze-smoke
+# Fault-injection smoke run: a tiny "crashy" plan over a 2-unit native
+# deployment, executed twice; exits nonzero if the injections fail to
+# replay bit-identically or trip lockdep/invariants.
+inject-smoke:
+	dune exec bin/ksurf_cli.exe -- inject --plan crashy --seed 42 --smoke
+
+check: build test analyze-smoke inject-smoke
 
 clean:
 	dune clean

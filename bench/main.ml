@@ -51,6 +51,9 @@ let ablate_virt ~seed ~scale ~corpus =
   Format.printf "%a@." E.Ablate_virt.pp
     (E.Ablate_virt.run ~seed ~scale ~corpus ())
 
+let dose ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Dose.pp (E.Dose.run ~seed ~scale ~corpus ())
+
 let experiments =
   [
     ("table1", table1);
@@ -63,6 +66,7 @@ let experiments =
     ("ablate-virt", ablate_virt);
     ("lwvm", lwvm);
     ("locks", locks);
+    ("dose", dose);
   ]
 
 (* ------------------------------------------------------------------ *)

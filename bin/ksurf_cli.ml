@@ -79,6 +79,16 @@ let gen_corpus_cmd =
     (Cmd.info "gen-corpus" ~doc:"Generate a coverage-guided syscall corpus")
     Term.(const gen_corpus $ seed_arg $ scale_arg $ calls $ output $ logs_term)
 
+let kind_of_name = function
+  | "native" -> Some Ksurf.Env.Native
+  | "kvm" -> Some (Ksurf.Env.Kvm Ksurf.Virt_config.default)
+  | "firecracker" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.firecracker)
+  | "kata" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.kata)
+  | "nabla" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.nabla)
+  | "gvisor" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.gvisor)
+  | "docker" -> Some Ksurf.Env.Docker
+  | _ -> None
+
 (* Replay an arbitrary corpus on an arbitrary deployment. *)
 let run_corpus seed file env_name units iterations () =
   match Ksurf.Corpus.load file with
@@ -86,18 +96,7 @@ let run_corpus seed file env_name units iterations () =
       Format.eprintf "cannot load %s: %s@." file e;
       exit 1
   | Ok corpus -> (
-      let kind =
-        match env_name with
-        | "native" -> Some Ksurf.Env.Native
-        | "kvm" -> Some (Ksurf.Env.Kvm Ksurf.Virt_config.default)
-        | "firecracker" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.firecracker)
-        | "kata" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.kata)
-        | "nabla" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.nabla)
-        | "gvisor" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.gvisor)
-        | "docker" -> Some Ksurf.Env.Docker
-        | _ -> None
-      in
-      match kind with
+      match kind_of_name env_name with
       | None ->
           Format.eprintf
             "unknown environment %S (native|kvm|firecracker|kata|nabla|gvisor|docker)@."
@@ -167,8 +166,8 @@ let analyze seed scenario checks csv () =
   let module A = Ksurf.Analysis in
   match A.Scenarios.of_string scenario with
   | None ->
-      Format.eprintf "unknown scenario %S (varbench|tailbench|bsp|inversion)@."
-        scenario;
+      Format.eprintf "unknown scenario %S (%s)@." scenario
+        (String.concat "|" (List.map A.Scenarios.to_string A.Scenarios.all));
       exit 2
   | Some sc -> (
       match A.Sanitizer.checks_of_string checks with
@@ -203,8 +202,9 @@ let analyze_cmd =
       & info [ "scenario" ] ~docv:"SCENARIO"
           ~doc:
             "Scenario to instrument: $(b,varbench), $(b,tailbench), $(b,bsp), \
-             or $(b,inversion) (a deliberate lock-order inversion that \
-             self-tests the analyzer).")
+             $(b,faulted-varbench), $(b,faulted-tailbench) (the same \
+             workloads under an armed kfault plan), or $(b,inversion) (a \
+             deliberate lock-order inversion that self-tests the analyzer).")
   in
   let checks =
     Arg.(
@@ -227,6 +227,162 @@ let analyze_cmd =
          "Run the sanitizer suite (lockdep, determinism, invariants) over a \
           stock scenario; exit nonzero on any finding")
     Term.(const analyze $ seed_arg $ scenario $ checks $ csv $ logs_term)
+
+(* --- inject ----------------------------------------------------------- *)
+
+(* Fault-injection driver: arm a kfault plan over a varbench deployment,
+   run it twice under the determinism checker (with lockdep + invariants
+   attached to the first run), and report the injection counters and the
+   replay hashes.  Exits 1 on any finding or hash divergence — the
+   [--smoke] form is the `make check` gate. *)
+let inject seed plan_name env_name units intensity smoke () =
+  let module A = Ksurf.Analysis in
+  let plan =
+    match Ksurf.Fault_plan.preset plan_name with
+    | Some p -> p
+    | None -> (
+        match Ksurf.Fault_plan.load plan_name with
+        | Ok p -> p
+        | Error e ->
+            Format.eprintf
+              "cannot load plan %S: %s (presets: %s)@." plan_name e
+              (String.concat ", " (List.map fst Ksurf.Fault_plan.presets));
+            exit 2)
+  in
+  match kind_of_name env_name with
+  | None ->
+      Format.eprintf
+        "unknown environment %S (native|kvm|firecracker|kata|nabla|gvisor|docker)@."
+        env_name;
+      exit 1
+  | Some kind ->
+      let plan =
+        if intensity = 1.0 then plan else Ksurf.Fault_plan.scale intensity plan
+      in
+      let corpus =
+        if smoke then
+          (Ksurf.Generator.run
+             ~params:
+               {
+                 Ksurf.Generator.default_params with
+                 Ksurf.Generator.seed;
+                 target_programs = 4;
+               }
+             ())
+            .Ksurf.Generator.corpus
+        else E.default_corpus ~seed E.Quick
+      in
+      let params =
+        if smoke then { Ksurf.Harness.iterations = 2; warmup_iterations = 1 }
+        else { Ksurf.Harness.iterations = 6; warmup_iterations = 1 }
+      in
+      let last = ref None in
+      let findings = ref [] in
+      let static_done = ref false in
+      let run_once ~probe =
+        let static = ref None in
+        let engine = Ksurf.Engine.create ~seed () in
+        Ksurf.Engine.add_probe engine probe;
+        if not !static_done then begin
+          let lockdep = A.Lockdep.create () in
+          let invariants = A.Invariants.create () in
+          Ksurf.Engine.add_probe engine (A.Lockdep.on_event lockdep);
+          Ksurf.Engine.add_probe engine (A.Invariants.on_event invariants);
+          static := Some (lockdep, invariants)
+        end;
+        let env =
+          Ksurf.Env.deploy ~engine kind (Ksurf.Partition.table1 units)
+        in
+        let kf = Ksurf.Kfault.arm ~env ~plan ~seed () in
+        let result =
+          Ksurf.Harness.run ~env ~corpus ~params ~straggler_timeout_ns:5e9 ()
+        in
+        Ksurf.Kfault.disarm kf;
+        last := Some (result, Ksurf.Kfault.stats kf, Ksurf.Kfault.total_injections kf);
+        match !static with
+        | None -> ()
+        | Some (lockdep, invariants) ->
+            static_done := true;
+            let drained = Ksurf.Engine.pending engine = 0 in
+            findings :=
+              !findings
+              @ A.Lockdep.finish ~drained lockdep
+              @ A.Invariants.finish ~drained invariants
+      in
+      let det =
+        timed "inject" (fun () ->
+            A.Determinism.check ~run:(fun ~probe -> run_once ~probe) ())
+      in
+      findings := !findings @ A.Determinism.to_findings det;
+      let result, stats, injections =
+        match !last with Some x -> x | None -> assert false
+      in
+      Format.printf "inject plan=%s dose=%.2f env=%s units=%d seed=%d@."
+        plan.Ksurf.Fault_plan.name intensity env_name units seed;
+      Format.printf
+        "  %d sites, %d invocations, %s of virtual time, %d injections@."
+        (Array.length result.Ksurf.Harness.sites)
+        (Ksurf.Harness.total_invocations result)
+        (Ksurf.Report.duration_ns result.Ksurf.Harness.wall_time_ns)
+        injections;
+      Format.printf "  %a@." Ksurf.Kfault.pp_stats stats;
+      Format.printf "  harness: %d retries, %d abandoned, %s@."
+        result.Ksurf.Harness.transient_retries
+        result.Ksurf.Harness.abandoned_calls
+        (if result.Ksurf.Harness.degraded then
+           Printf.sprintf "DEGRADED (%d/%d ranks survived)"
+             result.Ksurf.Harness.survivors result.Ksurf.Harness.ranks
+         else "all ranks survived");
+      Format.printf "  replay: %d vs %d events, hash %08x vs %08x — %s@."
+        det.A.Determinism.events_first det.A.Determinism.events_second
+        det.A.Determinism.hash_first det.A.Determinism.hash_second
+        (if A.Determinism.deterministic det then "identical" else "DIVERGENT");
+      List.iter (fun f -> Format.printf "  %a@." A.Finding.pp f) !findings;
+      if !findings <> [] then exit 1;
+      Format.printf "  no findings: faulted run is deterministic and clean@."
+
+let inject_cmd =
+  let plan =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan: a preset name ($(b,syscalls), $(b,storms), \
+             $(b,preempt), $(b,mixed), $(b,crashy)) or a plan file path.")
+  in
+  let env_name =
+    Arg.(
+      value & opt string "native"
+      & info [ "env" ] ~docv:"ENV"
+          ~doc:"native | kvm | firecracker | kata | nabla | gvisor | docker")
+  in
+  let units =
+    Arg.(
+      value & opt int 2
+      & info [ "units" ] ~docv:"N"
+          ~doc:"Isolation units (a Table-1 row: 1,2,4,8,16,32,64).")
+  in
+  let intensity =
+    Arg.(
+      value & opt float 1.0
+      & info [ "intensity" ] ~docv:"K"
+          ~doc:"Scale the plan's dose by $(docv) (see Fault_plan.scale).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Tiny corpus and iteration count: the CI gate configuration.")
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Run a fault-injected varbench deployment twice; verify the \
+          injections replay bit-identically and pass lockdep/invariants; \
+          exit nonzero on any finding")
+    Term.(
+      const inject $ seed_arg $ plan $ env_name $ units $ intensity $ smoke
+      $ logs_term)
 
 (* --- experiments ------------------------------------------------------ *)
 
@@ -285,6 +441,11 @@ let locks_cmd =
     (fun ~seed ~scale ->
       Format.printf "%a@." E.Locks.pp (E.Locks.run ~seed ~scale ()))
 
+let dose_cmd =
+  experiment_cmd "dose" ~doc:"Dose-response: fault-intensity sensitivity sweep"
+    (fun ~seed ~scale ->
+      Format.printf "%a@." E.Dose.pp (E.Dose.run ~seed ~scale ()))
+
 let all_cmd =
   experiment_cmd "all" ~doc:"Run every experiment in sequence"
     (fun ~seed ~scale ->
@@ -310,6 +471,8 @@ let main_cmd =
       gen_corpus_cmd;
       run_corpus_cmd;
       analyze_cmd;
+      inject_cmd;
+      dose_cmd;
       table1_cmd;
       table2_cmd;
       fig2_cmd;

@@ -51,10 +51,21 @@ let describe (info : Engine.event_info) =
               parties
         | Engine.Barrier_release { generation } ->
             Printf.sprintf "barrier-release(gen=%d)" generation
+        | Engine.Barrier_depart { generation; parties } ->
+            Printf.sprintf "barrier-depart(gen=%d,parties=%d)" generation
+              parties
       in
       {
         key = Printf.sprintf "Y:%Lx:%d:%s:%s" (bits now) pid name op_label;
         display = Printf.sprintf "t=%g pid=%d %s %s" now pid name op_label;
+      }
+  | Engine.Injected { now; pid; fault; magnitude } ->
+      {
+        key =
+          Printf.sprintf "I:%Lx:%d:%s:%Lx" (bits now) pid fault
+            (bits magnitude);
+        display =
+          Printf.sprintf "t=%g pid=%d inject %s(%g)" now pid fault magnitude;
       }
 
 type divergence = {

@@ -147,9 +147,11 @@ let on_event t (info : Engine.event_info) =
       | Engine.Read_release -> on_release t ~pid ~time:now ~name ~mode:Read
       | Engine.Write_acquire _ -> on_acquire t ~pid ~time:now ~name ~mode:Write
       | Engine.Write_release -> on_release t ~pid ~time:now ~name ~mode:Write
-      | Engine.Barrier_arrive _ | Engine.Barrier_release _ -> ())
+      | Engine.Barrier_arrive _ | Engine.Barrier_release _
+      | Engine.Barrier_depart _ ->
+          ())
   | Engine.Scheduled _ | Engine.Executed _ | Engine.Suspended _
-  | Engine.Woken _ ->
+  | Engine.Woken _ | Engine.Injected _ ->
       ()
 
 (* --- cycle detection -------------------------------------------------- *)

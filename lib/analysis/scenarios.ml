@@ -16,26 +16,39 @@ module Apps = Ksurf_tailbench.Apps
 module Runner = Ksurf_tailbench.Runner
 module Cluster = Ksurf_cluster.Cluster
 
-type t = Varbench | Tailbench | Bsp | Inversion
+type t =
+  | Varbench
+  | Tailbench
+  | Bsp
+  | Inversion
+  | Faulted_varbench
+  | Faulted_tailbench
 
-let all = [ Varbench; Tailbench; Bsp; Inversion ]
+let all =
+  [ Varbench; Tailbench; Bsp; Inversion; Faulted_varbench; Faulted_tailbench ]
 
 let to_string = function
   | Varbench -> "varbench"
   | Tailbench -> "tailbench"
   | Bsp -> "bsp"
   | Inversion -> "inversion"
+  | Faulted_varbench -> "faulted-varbench"
+  | Faulted_tailbench -> "faulted-tailbench"
 
 let of_string = function
   | "varbench" -> Some Varbench
   | "tailbench" -> Some Tailbench
   | "bsp" -> Some Bsp
   | "inversion" -> Some Inversion
+  | "faulted-varbench" -> Some Faulted_varbench
+  | "faulted-tailbench" -> Some Faulted_tailbench
   | _ -> None
 
 (* Scenarios the sanitizers must pass on; [Inversion] is the negative
-   control and is excluded on purpose. *)
-let stock = [ Varbench; Tailbench; Bsp ]
+   control and is excluded on purpose.  The faulted scenarios run under
+   an armed kfault plan: injections must stay deterministic and
+   lockdep-clean too. *)
+let stock = [ Varbench; Tailbench; Bsp; Faulted_varbench; Faulted_tailbench ]
 
 let small_corpus ~seed =
   (Generator.run
@@ -116,9 +129,55 @@ let run_inversion ~seed ~on_engine =
       Lock.release b);
   Engine.run engine
 
+(* Faulted variants: same workloads under an armed kfault plan.  The
+   "crashy" preset exercises every injection mechanism including a rank
+   crash, so these scenarios cover barrier departure (varbench) and
+   crash/restart requeueing (tailbench) under the sanitizers. *)
+let fault_plan () =
+  match Ksurf_fault.Plan.preset "crashy" with
+  | Some p -> p
+  | None -> assert false
+
+let run_faulted_varbench ~seed ~on_engine =
+  let engine = Engine.create ~seed () in
+  on_engine engine;
+  let env =
+    Env.deploy ~engine Env.Native
+      (Partition.equal_split ~units:2 ~total_cores:8 ~total_mem_mb:8192)
+  in
+  let kf = Ksurf_fault.Kfault.arm ~env ~plan:(fault_plan ()) ~seed () in
+  let corpus = small_corpus ~seed in
+  ignore
+    (Harness.run ~env ~corpus
+       ~params:{ Harness.iterations = 4; warmup_iterations = 1 }
+       ~straggler_timeout_ns:5e9 ());
+  Ksurf_fault.Kfault.disarm kf
+
+let run_faulted_tailbench ~seed ~on_engine =
+  let config =
+    {
+      Runner.default_config with
+      Runner.requests = 250;
+      seed;
+      units = 2;
+      unit_cores = 4;
+      unit_mem_mb = 2048;
+    }
+  in
+  let kf = ref None in
+  let on_env env =
+    kf := Some (Ksurf_fault.Kfault.arm ~env ~plan:(fault_plan ()) ~seed ())
+  in
+  ignore
+    (Runner.run_single_node ~app:(app ()) ~kind:Env.Native ~contended:false
+       ~config ~request_timeout_ns:1e9 ~on_engine ~on_env ());
+  Option.iter Ksurf_fault.Kfault.disarm !kf
+
 let run t ~seed ~on_engine =
   match t with
   | Varbench -> run_varbench ~seed ~on_engine
   | Tailbench -> run_tailbench ~seed ~on_engine
   | Bsp -> run_bsp ~seed ~on_engine
   | Inversion -> run_inversion ~seed ~on_engine
+  | Faulted_varbench -> run_faulted_varbench ~seed ~on_engine
+  | Faulted_tailbench -> run_faulted_tailbench ~seed ~on_engine

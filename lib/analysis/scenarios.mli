@@ -1,9 +1,18 @@
 (** Stock scenarios for the sanitizer suite: small, fast configurations
     of the repo's three workload families, plus a deliberately broken
     [Inversion] scenario (an AB/BA lock-order inversion at disjoint
-    virtual times) that self-tests the lockdep analyzer. *)
+    virtual times) that self-tests the lockdep analyzer, plus faulted
+    variants that rerun varbench/tailbench under an armed kfault
+    "crashy" plan — injections must stay deterministic and
+    lockdep-clean. *)
 
-type t = Varbench | Tailbench | Bsp | Inversion
+type t =
+  | Varbench
+  | Tailbench
+  | Bsp
+  | Inversion
+  | Faulted_varbench
+  | Faulted_tailbench
 
 val all : t list
 

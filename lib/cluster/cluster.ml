@@ -73,7 +73,7 @@ let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed
         (Env.rank_count env - config.unit_cores)
         (fun i -> config.unit_cores + i)
     in
-    Noise.start ~env ~corpus:noise_corpus ~ranks:noise_ranks ()
+    ignore (Noise.start ~env ~corpus:noise_corpus ~ranks:noise_ranks () : Noise.handle)
   end;
   let mean_service = Service.estimate_native_service compiled in
   let rate =

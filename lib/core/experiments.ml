@@ -645,3 +645,139 @@ module Ablate_virt = struct
       ~header:[ "app"; "exit scale"; "kvm (s)"; "docker (s)"; "kvm advantage" ]
       ~rows ppf
 end
+
+module Dose = struct
+  module Plan = Ksurf_fault.Plan
+  module Kfault = Ksurf_fault.Kfault
+  module Quantile = Ksurf_stats.Quantile
+  module Samples = Ksurf_varbench.Samples
+
+  type cell = {
+    env : string;
+    intensity : float;
+    p99 : float;
+    cov : float;
+    injections : int;
+    retries : int;
+    degraded : bool;
+    survivors : int;
+  }
+
+  type t = { plan_name : string; cells : cell list }
+
+  let environments =
+    [
+      ("native", Env.Native, 1);
+      ("kvm-64", kvm_kind, 64);
+      ("docker-64", Env.Docker, 64);
+    ]
+
+  let default_intensities = [ 0.0; 0.5; 1.0; 2.0 ]
+
+  let default_plan () =
+    match Plan.preset "mixed" with Some p -> p | None -> assert false
+
+  let all_samples (result : Harness.result) =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (s : Harness.site) -> Samples.to_array s.Harness.samples)
+            result.Harness.sites))
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?plan
+      ?(intensities = default_intensities) () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let plan = match plan with Some p -> p | None -> default_plan () in
+    let cells =
+      List.concat_map
+        (fun (env_name, kind, units) ->
+          List.map
+            (fun intensity ->
+              let engine = Engine.create ~seed () in
+              let env = Env.deploy ~engine kind (Partition.table1 units) in
+              let kf =
+                Kfault.arm ~env ~plan:(Plan.scale intensity plan) ~seed ()
+              in
+              let result =
+                Harness.run ~env ~corpus ~params:(harness_params scale) ()
+              in
+              Kfault.disarm kf;
+              let samples = all_samples result in
+              let n = Array.length samples in
+              let mean =
+                if n = 0 then 0.0
+                else Array.fold_left ( +. ) 0.0 samples /. float_of_int n
+              in
+              let var =
+                if n = 0 then 0.0
+                else
+                  Array.fold_left
+                    (fun acc x -> acc +. (((x -. mean) *. (x -. mean)) /. float_of_int n))
+                    0.0 samples
+              in
+              {
+                env = env_name;
+                intensity;
+                p99 = (if n = 0 then 0.0 else Quantile.p99 samples);
+                cov = (if mean > 0.0 then sqrt var /. mean else 0.0);
+                injections = Kfault.total_injections kf;
+                retries = result.Harness.transient_retries;
+                degraded = result.Harness.degraded;
+                survivors = result.Harness.survivors;
+              })
+            intensities)
+        environments
+    in
+    { plan_name = plan.Plan.name; cells }
+
+  let cell t ~env ~intensity =
+    List.find_opt
+      (fun c -> c.env = env && c.intensity = intensity)
+      t.cells
+
+  (* p99 at each dose relative to the same environment's zero-dose
+     baseline: the sensitivity curve the study plots. *)
+  let degradation t ~env =
+    let mine = List.filter (fun c -> c.env = env) t.cells in
+    match List.find_opt (fun c -> c.intensity = 0.0) mine with
+    | None -> []
+    | Some base when base.p99 <= 0.0 -> []
+    | Some base ->
+        List.map (fun c -> (c.intensity, c.p99 /. base.p99)) mine
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "Dose-response: varbench p99 sensitivity to injected faults (plan %s)@.@."
+      t.plan_name;
+    let rows =
+      List.map
+        (fun c ->
+          let rel =
+            match cell t ~env:c.env ~intensity:0.0 with
+            | Some base when base.p99 > 0.0 ->
+                Printf.sprintf "%.2fx" (c.p99 /. base.p99)
+            | _ -> "-"
+          in
+          [
+            c.env;
+            Printf.sprintf "%.2f" c.intensity;
+            Printf.sprintf "%.1f" (c.p99 /. 1e3);
+            rel;
+            Printf.sprintf "%.3f" c.cov;
+            string_of_int c.injections;
+            string_of_int c.retries;
+            (if c.degraded then Printf.sprintf "yes (%d left)" c.survivors
+             else "no");
+          ])
+        t.cells
+    in
+    Report.table
+      ~header:
+        [
+          "environment"; "dose"; "p99 (us)"; "vs baseline"; "CoV";
+          "injections"; "retries"; "degraded";
+        ]
+      ~rows ppf
+end

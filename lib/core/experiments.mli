@@ -193,3 +193,39 @@ module Ablate_virt : sig
 
   val pp : Format.formatter -> t -> unit
 end
+
+(** Dose–response study: sweep a fault plan's intensity across
+    environments and measure each environment's p99/CoV sensitivity.
+    The shared-kernel environments amplify injected contention (a
+    stretched critical section queues every rank behind it), so native
+    p99 degrades faster with dose than the partitioned kvm-64. *)
+module Dose : sig
+  type cell = {
+    env : string;
+    intensity : float;  (** {!Ksurf_fault.Plan.scale} factor *)
+    p99 : float;  (** ns, over every measured call site sample *)
+    cov : float;  (** coefficient of variation of the same samples *)
+    injections : int;  (** total fault firings (kfault counters) *)
+    retries : int;  (** transient failures the harness retried *)
+    degraded : bool;
+    survivors : int;
+  }
+
+  type t = { plan_name : string; cells : cell list }
+
+  val default_intensities : float list
+  (** [0; 0.5; 1; 2] — zero dose is the per-environment baseline. *)
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
+    ?plan:Ksurf_fault.Plan.t -> ?intensities:float list -> unit -> t
+  (** One varbench run per (environment x intensity) cell; [plan]
+      defaults to the ["mixed"] preset (every mechanism, no crashes). *)
+
+  val cell : t -> env:string -> intensity:float -> cell option
+
+  val degradation : t -> env:string -> (float * float) list
+  (** [(intensity, p99 / baseline p99)] pairs for one environment. *)
+
+  val pp : Format.formatter -> t -> unit
+end

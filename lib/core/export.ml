@@ -73,7 +73,9 @@ let table3 ~dir (t : E.Table3.t) =
 let fig3 ~dir (t : E.Fig3.t) =
   let p = path dir "fig3.csv" in
   Csv.write ~path:p
-    ~header:[ "app"; "kind"; "contended"; "mean_ns"; "p95_ns"; "p99_ns"; "max_ns" ]
+    ~header:
+      [ "app"; "kind"; "contended"; "mean_ns"; "p95_ns"; "p99_ns"; "max_ns";
+        "degraded"; "survivors" ]
     ~rows:
       (List.map
          (fun (r : Runner.result) ->
@@ -85,6 +87,8 @@ let fig3 ~dir (t : E.Fig3.t) =
              Printf.sprintf "%.0f" r.Runner.p95;
              Printf.sprintf "%.0f" r.Runner.p99;
              Printf.sprintf "%.0f" r.Runner.max;
+             string_of_bool r.Runner.degraded;
+             string_of_int r.Runner.survivors;
            ])
          t.E.Fig3.cells);
   [ p ]
@@ -140,4 +144,26 @@ let ablate_virt ~dir (t : E.Ablate_virt.t) =
              Printf.sprintf "%.0f" r.E.Ablate_virt.docker_runtime_ns;
            ])
          t.E.Ablate_virt.rows);
+  [ p ]
+
+let dose ~dir (t : E.Dose.t) =
+  let p = path dir "dose.csv" in
+  Csv.write ~path:p
+    ~header:
+      [ "environment"; "intensity"; "p99_ns"; "cov"; "injections"; "retries";
+        "degraded"; "survivors" ]
+    ~rows:
+      (List.map
+         (fun (c : E.Dose.cell) ->
+           [
+             c.E.Dose.env;
+             Printf.sprintf "%.2f" c.E.Dose.intensity;
+             Printf.sprintf "%.0f" c.E.Dose.p99;
+             Printf.sprintf "%.4f" c.E.Dose.cov;
+             string_of_int c.E.Dose.injections;
+             string_of_int c.E.Dose.retries;
+             string_of_bool c.E.Dose.degraded;
+             string_of_int c.E.Dose.survivors;
+           ])
+         t.E.Dose.cells);
   [ p ]

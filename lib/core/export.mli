@@ -14,3 +14,7 @@ val fig4 : dir:string -> Experiments.Fig4.t -> string list
 val ablate : dir:string -> Experiments.Ablate.t -> string list
 val lwvm : dir:string -> Experiments.Lwvm.t -> string list
 val ablate_virt : dir:string -> Experiments.Ablate_virt.t -> string list
+
+val dose : dir:string -> Experiments.Dose.t -> string list
+(** One row per (environment, intensity) cell, stamped with the
+    degraded flag and survivor count. *)

@@ -17,6 +17,8 @@
     - {!Harness}, {!Study}, {!Noise} — the varbench measurement harness
     - {!Analysis} — opt-in sanitizers: lockdep, determinism checker,
       engine invariants (see [ksurf_cli analyze])
+    - {!Fault_plan}, {!Kfault} — deterministic fault injection (see
+      [ksurf_cli inject])
     - {!Apps}, {!Service}, {!Runner}, {!Cluster} — tailbench workloads,
       single-node and 64-node experiments
     - {!Experiments} — drivers that regenerate every table and figure
@@ -81,6 +83,9 @@ module Runner = Ksurf_tailbench.Runner
 module Cluster = Ksurf_cluster.Cluster
 
 module Analysis = Ksurf_analysis
+
+module Fault_plan = Ksurf_fault.Plan
+module Kfault = Ksurf_fault.Kfault
 
 module Report = Ksurf_report.Report
 module Csv = Ksurf_report.Csv

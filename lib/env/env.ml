@@ -17,11 +17,26 @@ type target =
 
 type rank = { target : target; unit_index : int; global_core : int }
 
+type errno = EAGAIN | EINTR
+
+let errno_name = function EAGAIN -> "EAGAIN" | EINTR -> "EINTR"
+
+type syscall_outcome =
+  | Completed of float
+  | Faulted of { errno : errno; latency_ns : float }
+
+type fault_ctl = {
+  syscall_errno : rank:int -> Spec.t -> errno option;
+  crash_at : rank:int -> float option;
+  restart_after : rank:int -> float option;
+}
+
 type t = {
   kind : kind;
   engine : Engine.t;
   ranks : rank array;
   instances : Instance.t list;
+  mutable fault : fault_ctl option;
 }
 
 let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Config.default)
@@ -47,7 +62,7 @@ let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Conf
         units;
       let ranks = Array.of_list (List.rev !ranks) in
       Instance.set_tenants host (Array.length ranks);
-      { kind; engine; ranks; instances = [ host ] }
+      { kind; engine; ranks; instances = [ host ]; fault = None }
   | Kvm virt ->
       let hv = Hypervisor.create ~engine ~kernel_config ~virt () in
       let ranks = ref [] in
@@ -74,6 +89,7 @@ let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Conf
         engine;
         ranks = Array.of_list (List.rev !ranks);
         instances = List.map Vm.guest vms;
+        fault = None;
       }
   | Docker ->
       let host =
@@ -98,7 +114,7 @@ let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Conf
         units;
       let ranks = Array.of_list (List.rev !ranks) in
       Instance.set_tenants host (Array.length ranks);
-      { kind; engine; ranks; instances = [ host ] }
+      { kind; engine; ranks; instances = [ host ]; fault = None }
 
 let kind t = t.kind
 let engine t = t.engine
@@ -128,6 +144,28 @@ let exec_ops t ~rank:i ~key ops =
 
 let exec_syscall t ~rank spec (arg : Arg.t) =
   exec_ops t ~rank ~key:arg.Arg.obj (spec.Spec.ops arg)
+
+let set_fault_ctl t ctl = t.fault <- ctl
+let fault_ctl t = t.fault
+
+let crash_time_of_rank t ~rank =
+  match t.fault with None -> None | Some ctl -> ctl.crash_at ~rank
+
+let restart_delay_of_rank t ~rank =
+  match t.fault with None -> None | Some ctl -> ctl.restart_after ~rank
+
+let try_syscall t ~rank:i spec (arg : Arg.t) =
+  match t.fault with
+  | None -> Completed (exec_syscall t ~rank:i spec arg)
+  | Some ctl -> (
+      match ctl.syscall_errno ~rank:i spec with
+      | None -> Completed (exec_syscall t ~rank:i spec arg)
+      | Some errno ->
+          (* The aborted call still pays the entry path (trap, argument
+             copy, early bail-out) — an empty op program wrapped the
+             same way as a real one. *)
+          let latency_ns = exec_ops t ~rank:i ~key:arg.Arg.obj [] in
+          Faulted { errno; latency_ns })
 
 let instances t = t.instances
 

@@ -45,6 +45,48 @@ val exec_ops : t -> rank:int -> key:int -> Ksurf_kernel.Ops.op list -> float
 (** Lower-level entry point for application models that synthesise their
     own op programs (tailbench): same wrapping, explicit object key. *)
 
+(** {2 Fault injection}
+
+    kfault ([lib/fault]) installs a {!fault_ctl}; harnesses that opt in
+    route calls through {!try_syscall} and consult the crash schedule.
+    With no control installed (the default) every path below reduces to
+    the stock behaviour. *)
+
+type errno = EAGAIN | EINTR
+(** The transient failures the fault model injects — both mean "retry". *)
+
+val errno_name : errno -> string
+
+type syscall_outcome =
+  | Completed of float  (** latency in ns, as {!exec_syscall} *)
+  | Faulted of { errno : errno; latency_ns : float }
+      (** the call aborted early; [latency_ns] covers the entry path *)
+
+type fault_ctl = {
+  syscall_errno : rank:int -> Ksurf_syscalls.Spec.t -> errno option;
+      (** consulted before each {!try_syscall}; [Some e] aborts the call *)
+  crash_at : rank:int -> float option;
+      (** virtual time at which the rank's process dies, if scheduled *)
+  restart_after : rank:int -> float option;
+      (** downtime before the rank restarts; [None] = crash is final *)
+}
+
+val set_fault_ctl : t -> fault_ctl option -> unit
+val fault_ctl : t -> fault_ctl option
+
+val crash_time_of_rank : t -> rank:int -> float option
+val restart_delay_of_rank : t -> rank:int -> float option
+
+val try_syscall :
+  t ->
+  rank:int ->
+  Ksurf_syscalls.Spec.t ->
+  Ksurf_syscalls.Arg.t ->
+  syscall_outcome
+(** Like {!exec_syscall} but consults the fault control first.  A
+    faulted call burns only the syscall entry path and reports the
+    injected errno; callers own the retry policy. *)
+
 val instances : t -> Ksurf_kernel.Instance.t list
 (** All kernel instances serving this deployment (1 for native/Docker,
     one per VM for KVM), for diagnostics. *)

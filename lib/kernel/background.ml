@@ -45,7 +45,11 @@ let journal_daemon inst rng () =
   let cfg = Instance.config inst in
   let size_scale = Float.max 0.02 (float_of_int (Instance.cores inst) /. 64.0) in
   let factor = activity_factor inst Instance.Fs_activity ~per_core_threshold:250.0 in
-  let hold = Dist.sample cfg.Config.journal_commit_hold rng *. size_scale *. factor in
+  let hold =
+    Dist.sample cfg.Config.journal_commit_hold rng
+    *. size_scale *. factor
+    *. Instance.daemon_hold_mult inst ~daemon:"jbd2"
+  in
   hold_lock inst Ops.Journal hold
 
 (* Reclaim: scan length follows allocation pressure and the memory the
@@ -54,7 +58,11 @@ let kswapd_daemon inst rng () =
   let cfg = Instance.config inst in
   let size_scale = Float.max 0.02 (float_of_int (Instance.mem_mb inst) /. 32768.0) in
   let factor = activity_factor inst Instance.Mm_activity ~per_core_threshold:400.0 in
-  let hold = Dist.sample cfg.Config.kswapd_hold rng *. size_scale *. factor in
+  let hold =
+    Dist.sample cfg.Config.kswapd_hold rng
+    *. size_scale *. factor
+    *. Instance.daemon_hold_mult inst ~daemon:"kswapd"
+  in
   hold_lock inst Ops.Zone hold
 
 (* Load balancing: a task-list sweep whose length grows with the core
@@ -63,10 +71,11 @@ let kswapd_daemon inst rng () =
 let balancer_daemon inst rng () =
   let cfg = Instance.config inst in
   let factor = activity_factor inst Instance.Sched_activity ~per_core_threshold:150.0 in
+  let storm = Instance.daemon_hold_mult inst ~daemon:"load_balancer" in
   let sweep =
     float_of_int (Instance.cores inst)
     *. Dist.sample cfg.Config.balancer_hold_per_core rng
-    *. factor
+    *. factor *. storm
   in
   hold_lock inst Ops.Tasklist sweep;
   if factor > 0.01 then
@@ -74,7 +83,8 @@ let balancer_daemon inst rng () =
       let ctx = { Instance.core; tenant = 0; key = 0; cgroup = None } in
       let rq = Instance.lock inst ctx Ops.Runqueue in
       Lock.acquire rq;
-      Engine.delay (Dist.sample cfg.Config.balancer_hold_per_core rng *. factor);
+      Engine.delay
+        (Dist.sample cfg.Config.balancer_hold_per_core rng *. factor *. storm);
       Lock.release rq
     done
 
@@ -91,6 +101,7 @@ let flusher_daemon inst rng () =
     let hold =
       Dist.sample cfg.Config.flusher_hold_per_cgroup rng
       *. float_of_int n *. factor
+      *. Instance.daemon_hold_mult inst ~daemon:"cgroup_flusher"
     in
     hold_lock inst Ops.Cgroup_css hold
   end

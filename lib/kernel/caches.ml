@@ -3,6 +3,7 @@ type t = {
   base_hit_rate : float;
   pressure_per_sharer : float;
   mutable sharers : int;
+  mutable extra_pressure : float;
   mutable lookups : int;
   mutable misses : int;
 }
@@ -10,13 +11,25 @@ type t = {
 let create ~name ~base_hit_rate ~pressure_per_sharer =
   if base_hit_rate < 0.0 || base_hit_rate > 1.0 then
     invalid_arg "Caches.create: hit rate out of range";
-  { name; base_hit_rate; pressure_per_sharer; sharers = 1; lookups = 0; misses = 0 }
+  {
+    name;
+    base_hit_rate;
+    pressure_per_sharer;
+    sharers = 1;
+    extra_pressure = 0.0;
+    lookups = 0;
+    misses = 0;
+  }
 
 let set_sharers t n = t.sharers <- max 1 n
+let set_extra_pressure t p = t.extra_pressure <- Float.max 0.0 p
+let extra_pressure t = t.extra_pressure
 
 let hit_rate t =
   let degraded =
-    t.base_hit_rate -. (float_of_int (t.sharers - 1) *. t.pressure_per_sharer)
+    t.base_hit_rate
+    -. (float_of_int (t.sharers - 1) *. t.pressure_per_sharer)
+    -. t.extra_pressure
   in
   Float.max 0.5 degraded
 

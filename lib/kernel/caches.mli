@@ -18,6 +18,13 @@ val create :
 val set_sharers : t -> int -> unit
 (** Number of tenants actively using the instance (>= 1). *)
 
+val set_extra_pressure : t -> float -> unit
+(** Transient additional hit-rate penalty (clamped at 0 below), on top
+    of sharer pressure — how a cache-flush fault-injection storm evicts
+    entries for a window.  The 0.5 hit-rate floor still applies. *)
+
+val extra_pressure : t -> float
+
 val hit_rate : t -> float
 
 val probe : t -> Ksurf_util.Prng.t -> bool

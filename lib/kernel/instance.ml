@@ -46,6 +46,12 @@ type t = {
   mutable win_ops : int;
   mutable busy : float;  (* smoothed per-core kernel-op rate, 0..1 *)
   activity : int array;  (* per activity-class op counters *)
+  (* Fault-injection state, written by kfault.  [burn_mult] dilates all
+     in-kernel CPU time (a slow memory channel window);
+     [daemon_hold_mult] lets an injector stretch the background
+     daemons' lock holds (a daemon storm). *)
+  mutable burn_mult : float;
+  mutable daemon_hold_mult : (string -> float) option;
 }
 
 type activity_class = Fs_activity | Mm_activity | Sched_activity | Charge_activity
@@ -110,6 +116,8 @@ let boot ~engine ~config ~id ~cores ~mem_mb ?block_dev () =
     win_ops = 0;
     busy = 0.0;
     activity = Array.make 4 0;
+    burn_mult = 1.0;
+    daemon_hold_mult = None;
   }
 
 let engine t = t.engine
@@ -135,6 +143,23 @@ let register_cgroup t =
 let cgroup_count t = t.cgroups
 let block_dev t = t.block_dev
 let rng t = t.rng
+
+(* --- fault-injection controls (kfault) ------------------------------- *)
+
+let set_burn_mult t m =
+  if m <= 0.0 then invalid_arg "Instance.set_burn_mult: must be positive";
+  t.burn_mult <- m
+
+let burn_mult t = t.burn_mult
+
+let set_daemon_hold_mult t f = t.daemon_hold_mult <- f
+
+let daemon_hold_mult t ~daemon =
+  match t.daemon_hold_mult with None -> 1.0 | Some f -> f daemon
+
+let set_cache_pressure t p =
+  Caches.set_extra_pressure t.dcache p;
+  Caches.set_extra_pressure t.page_cache p
 
 (* A core driving the kernel flat out executes roughly one op per 12 µs (lock convoys and sleeps included);
    [busy] is the instance's smoothed per-core rate relative to that. *)
@@ -193,7 +218,7 @@ let rwlock t ctx (ref : Ops.rw_ref) =
    burst of duration [d] overlaps a tick with probability d/period, in
    which case the tick handler's work is added to the caller's time. *)
 let burn t d =
-  let d = d *. t.config.Config.cpu_cost_factor in
+  let d = d *. t.config.Config.cpu_cost_factor *. t.burn_mult in
   let d =
     if not t.config.Config.enable_timer_noise then d
     else begin

@@ -105,3 +105,26 @@ val burn : t -> float -> unit
 (** Consume [d] ns of in-kernel CPU, including probabilistic timer-tick
     interference when enabled.  Exposed for wrappers that add their own
     costs (virtualisation entry/exit, namespace translation). *)
+
+(** {2 Fault-injection controls}
+
+    Written by kfault ([lib/fault]); every accessor defaults to the
+    identity so an un-armed instance behaves exactly as before. *)
+
+val set_burn_mult : t -> float -> unit
+(** Dilate all in-kernel CPU time by a factor — a slow-memory-channel
+    window.  Must be positive; 1.0 restores stock behaviour. *)
+
+val burn_mult : t -> float
+
+val set_daemon_hold_mult : t -> (string -> float) option -> unit
+(** Install a per-daemon lock-hold multiplier, keyed by daemon name
+    ("jbd2", "kswapd", "load_balancer", "cgroup_flusher").  {!Background}
+    consults it on every housekeeping pass; [None] restores 1.0. *)
+
+val daemon_hold_mult : t -> daemon:string -> float
+(** The current multiplier for [daemon] (1.0 when no hook installed). *)
+
+val set_cache_pressure : t -> float -> unit
+(** Extra hit-rate penalty on both software caches (dcache and page
+    cache) — a cache-flush storm window.  0.0 restores stock. *)

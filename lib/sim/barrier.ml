@@ -1,7 +1,7 @@
 type t = {
   engine : Engine.t;
   name : string;
-  parties : int;
+  mutable parties : int;
   mutable arrived : int;
   mutable generation : int;
   waiters : (unit -> unit) Queue.t;
@@ -13,6 +13,7 @@ let create ~engine ~name ~parties =
 
 let generation t = t.generation
 let waiting t = t.arrived
+let parties t = t.parties
 
 let emit t op =
   Engine.emit t.engine
@@ -33,6 +34,27 @@ let arrive t =
   if t.arrived < t.parties then Engine.suspend (fun wake -> Queue.push wake t.waiters)
   else begin
     (* Last arrival: release everyone, start a new generation. *)
+    t.arrived <- 0;
+    t.generation <- t.generation + 1;
+    if Engine.observed t.engine then
+      emit t (Engine.Barrier_release { generation = t.generation });
+    Queue.iter (fun wake -> wake ()) t.waiters;
+    Queue.clear t.waiters
+  end
+
+let depart t =
+  if t.parties <= 1 then
+    invalid_arg
+      (Printf.sprintf "Barrier.depart: %s would have no parties left" t.name);
+  t.parties <- t.parties - 1;
+  if Engine.observed t.engine then
+    emit t
+      (Engine.Barrier_depart { generation = t.generation; parties = t.parties });
+  (* The departing party may have been the only arrival the current
+     generation was still waiting for: release it now so survivors do
+     not deadlock.  Identical to [arrive]'s last-arrival branch, minus
+     the extra arrival. *)
+  if t.arrived >= t.parties then begin
     t.arrived <- 0;
     t.generation <- t.generation + 1;
     if Engine.observed t.engine then

@@ -13,7 +13,14 @@ type t = {
   mutable cur_pid : int;
   mutable next_pid : int;
   mutable next_token : int;
+  (* Fault-injection layer: kfault installs a hook that runs in process
+     context right after a Lock/Resource acquisition succeeds, so it may
+     stretch the critical section with [delay].  None (the default)
+     costs one load on the acquire path. *)
+  mutable acquire_hook : (acquire_site -> string -> unit) option;
 }
+
+and acquire_site = Lock_site | Resource_site
 
 (* Probe events.  Synchronization primitives (lock.ml, rwlock.ml,
    barrier.ml) funnel their events through the engine so one
@@ -30,6 +37,9 @@ and event_info =
       (** suspension [token] was woken *)
   | Sync of { now : float; pid : int; name : string; op : sync_op }
       (** a synchronization-primitive operation on primitive [name] *)
+  | Injected of { now : float; pid : int; fault : string; magnitude : float }
+      (** a fault injector (kfault) perturbed the simulation; [fault]
+          names the mechanism, [magnitude] its size in natural units *)
 
 and sync_op =
   | Acquire of { contended : bool }
@@ -40,6 +50,7 @@ and sync_op =
   | Write_release
   | Barrier_arrive of { generation : int; arrived : int; parties : int }
   | Barrier_release of { generation : int }
+  | Barrier_depart of { generation : int; parties : int }
 
 exception Process_error of string * exn
 
@@ -65,6 +76,7 @@ let create ?(seed = 0) () =
     cur_pid = 0;
     next_pid = 0;
     next_token = 0;
+    acquire_hook = None;
   }
 
 let now t = t.now
@@ -77,6 +89,8 @@ let clear_probes t = t.probes <- []
 let observed t = t.probes <> []
 let emit t info = List.iter (fun probe -> probe info) t.probes
 let current_pid t = t.cur_pid
+let set_acquire_hook t hook = t.acquire_hook <- hook
+let acquire_hook t = t.acquire_hook
 
 let schedule_pid t ~pid ~at thunk =
   (* Emit before validating so a sanitizer records the violation even

@@ -28,6 +28,14 @@ type event_info =
   | Suspended of { now : float; pid : int; token : int }
   | Woken of { now : float; pid : int; token : int }
   | Sync of { now : float; pid : int; name : string; op : sync_op }
+  | Injected of { now : float; pid : int; fault : string; magnitude : float }
+      (** A fault injector (kfault) perturbed the simulation.  [fault]
+          names the mechanism (e.g. ["syscall-eagain"],
+          ["lock-preemption"]), [magnitude] its size in natural units
+          (stretch ns, hold multiplier, errno-coded as 0/1, …).  Flows
+          through the same probe stream as every other event, so the
+          determinism checker hashes injections along with the behaviour
+          they cause. *)
 
 (** Synchronisation-primitive operations, reported by {!Lock},
     {!Rwlock} and {!Barrier} through their engine.  Acquire events are
@@ -42,6 +50,13 @@ and sync_op =
   | Write_release
   | Barrier_arrive of { generation : int; arrived : int; parties : int }
   | Barrier_release of { generation : int }
+  | Barrier_depart of { generation : int; parties : int }
+      (** A party permanently left the barrier ({!Barrier.depart});
+          [parties] is the new, smaller membership. *)
+
+(** Where a fault-injection acquire hook fired: a {!Lock} or a
+    {!Resource} slot. *)
+type acquire_site = Lock_site | Resource_site
 
 val create : ?seed:int -> unit -> t
 (** Fresh engine at virtual time 0 (nanoseconds by ksurf convention). *)
@@ -62,6 +77,17 @@ val emit : t -> event_info -> unit
 
 val current_pid : t -> int
 (** Pid of the currently executing process, or 0 outside processes. *)
+
+val set_acquire_hook : t -> (acquire_site -> string -> unit) option -> unit
+(** Install (or clear) the fault-injection acquire hook.  {!Lock} and
+    {!Resource} call it in process context immediately after a
+    successful acquisition, passing the site kind and the primitive's
+    name, so the hook may stretch the critical section with {!delay} —
+    lock-holder preemption.  At most one hook; [None] restores the
+    zero-cost default. *)
+
+val acquire_hook : t -> (acquire_site -> string -> unit) option
+(** The installed hook, consulted by the sync primitives. *)
 
 val now : t -> float
 val rng : t -> Ksurf_util.Prng.t

@@ -57,7 +57,14 @@ let acquire t =
   end;
   t.acquisitions <- t.acquisitions + 1;
   t.acquired_at <- Engine.now t.engine;
-  Ksurf_util.Welford.add t.wait_stats (Engine.now t.engine -. start)
+  Ksurf_util.Welford.add t.wait_stats (Engine.now t.engine -. start);
+  (* Fault-injection point: the hook runs while we own the lock, so any
+     [Engine.delay] it performs stretches the critical section
+     (lock-holder preemption).  [acquired_at] is already set, keeping
+     the stretch inside the recorded hold time. *)
+  match Engine.acquire_hook t.engine with
+  | None -> ()
+  | Some hook -> hook Engine.Lock_site t.name
 
 let release t =
   if Engine.observed t.engine then emit t Engine.Release;

@@ -32,7 +32,12 @@ let acquire t =
   else Engine.suspend (fun wake -> Queue.push wake t.waiters);
   (* On wake the releaser has transferred the slot to us. *)
   t.served <- t.served + 1;
-  Ksurf_util.Welford.add t.wait_stats (Engine.now t.engine -. start)
+  Ksurf_util.Welford.add t.wait_stats (Engine.now t.engine -. start);
+  (* Fault-injection point: a hook delay here models a stalled device
+     channel — the slot is occupied for longer. *)
+  match Engine.acquire_hook t.engine with
+  | None -> ()
+  | Some hook -> hook Engine.Resource_site t.name
 
 let release t =
   if t.in_use <= 0 then

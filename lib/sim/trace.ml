@@ -35,3 +35,33 @@ let pp ppf t =
   List.iter
     (fun (time, label) -> Format.fprintf ppf "[%12.1f] %s@." time label)
     (events t)
+
+(* RFC-4180 field quoting, local so ksurf_sim keeps no report-layer
+   dependency. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "time_ns,label\n";
+  List.iter
+    (fun (time, label) ->
+      Buffer.add_string buf (Printf.sprintf "%.1f,%s\n" time (csv_field label)))
+    (events t);
+  Buffer.contents buf
+
+let write_csv t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

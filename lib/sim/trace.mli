@@ -29,3 +29,12 @@ val clear : t -> unit
 
 val pp : Format.formatter -> t -> unit
 (** One "[time] label" line per retained event. *)
+
+val to_csv : t -> string
+(** The retained events as CSV ("time_ns,label" header, oldest first,
+    RFC-4180 quoting).  Only retained events appear: when the ring has
+    wrapped, the dump starts at the oldest surviving event — diff two
+    dumps from the same capacity to line up faulted-run post-mortems. *)
+
+val write_csv : t -> string -> unit
+(** [write_csv t path] writes {!to_csv} to [path]. *)

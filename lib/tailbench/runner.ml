@@ -41,10 +41,16 @@ type result = {
   p99 : float;
   max : float;
   wall_ns : float;
+  degraded : bool;
+  survivors : int;
+  crashes : int;
+  restarts : int;
+  timeouts : int;
 }
 
 let run_single_node ~app ~kind ~contended ?(config = default_config)
-    ?noise_corpus ?(on_engine = fun (_ : Engine.t) -> ()) () =
+    ?noise_corpus ?request_timeout_ns ?(on_engine = fun (_ : Engine.t) -> ())
+    ?(on_env = fun (_ : Env.t) -> ()) () =
   let compiled = Service.compile app in
   let engine = Engine.create ~seed:config.seed () in
   (* Observer hook: lets sanitizers attach probes before anything runs. *)
@@ -55,6 +61,8 @@ let run_single_node ~app ~kind ~contended ?(config = default_config)
       ~total_mem_mb:(config.units * config.unit_mem_mb)
   in
   let env = Env.deploy ~engine ~machine:config.machine kind partition in
+  (* Deployment hook: lets callers arm a fault plan on the fresh env. *)
+  on_env env;
   (* Unit 0 hosts the application; the rest host noise when contended. *)
   let workers = List.init config.unit_cores (fun i -> i) in
   let noise_ranks =
@@ -68,7 +76,7 @@ let run_single_node ~app ~kind ~contended ?(config = default_config)
       | Some c -> c
       | None -> (Ksurf_syzgen.Generator.run ()).Ksurf_syzgen.Generator.corpus
     in
-    Noise.start ~env ~corpus ~ranks:noise_ranks ()
+    ignore (Noise.start ~env ~corpus ~ranks:noise_ranks () : Noise.handle)
   end;
   (* Open-loop client at a fixed rate derived from the native service
      estimate: identical across environments. *)
@@ -79,44 +87,102 @@ let run_single_node ~app ~kind ~contended ?(config = default_config)
   let mailbox = Mailbox.create ~engine ~name:(app.Apps.name ^ ".reqs") in
   let latencies = Samples.create () in
   let completed = ref 0 in
+  (* Robustness accounting: a fault plan (kfault) may schedule worker
+     crashes; a crashed worker hands its request back to the mailbox so
+     a survivor serves it, and either restarts after the plan's
+     downtime or exits for good. *)
+  let worker_count = List.length workers in
+  let live = ref worker_count in
+  let crashes = ref 0 in
+  let restarts = ref 0 in
+  let timeouts = ref 0 in
   List.iter
     (fun rank ->
       let rng = Prng.split (Engine.rng engine) (Printf.sprintf "worker-%d" rank) in
       Engine.spawn engine (fun () ->
+          let crash_at = Env.crash_time_of_rank env ~rank in
+          let restart_delay = Env.restart_delay_of_rank env ~rank in
+          let crash_handled = ref false in
+          let inject fault =
+            if Engine.observed engine then
+              Engine.emit engine
+                (Engine.Injected
+                   {
+                     now = Engine.now engine;
+                     pid = Engine.current_pid engine;
+                     fault;
+                     magnitude = float_of_int rank;
+                   })
+          in
           let rec serve () =
             let arrival = Mailbox.recv mailbox in
-            (* Residual hardware interference from the co-runners.  The
-               paper's VM setup allocates each VM's memory from a single
-               memory channel, so cross-VM bandwidth interference is
-               lower than between containers sharing all channels. *)
-            let hw_dilation =
-              if not contended then 1.0
-              else
-                match kind with
-                | Env.Kvm _ -> 1.005 +. Prng.float rng 0.01
-                | Env.Native | Env.Docker -> 1.01 +. Prng.float rng 0.03
-            in
-            Service.handle compiled ~env ~rank ~rng ~hw_dilation ();
-            Samples.add latencies (Engine.now engine -. arrival);
-            incr completed;
-            serve ()
+            match crash_at with
+            | Some at
+              when (not !crash_handled) && Engine.now engine >= at -> (
+                crash_handled := true;
+                incr crashes;
+                inject "rank-crash";
+                (* The in-flight request survives the crash: back to the
+                   queue for whoever is still serving. *)
+                Mailbox.send mailbox arrival;
+                match restart_delay with
+                | Some downtime ->
+                    Engine.delay downtime;
+                    incr restarts;
+                    inject "rank-restart";
+                    serve ()
+                | None -> decr live)
+            | _ ->
+                (* Residual hardware interference from the co-runners.
+                   The paper's VM setup allocates each VM's memory from
+                   a single memory channel, so cross-VM bandwidth
+                   interference is lower than between containers sharing
+                   all channels. *)
+                let hw_dilation =
+                  if not contended then 1.0
+                  else
+                    match kind with
+                    | Env.Kvm _ -> 1.005 +. Prng.float rng 0.01
+                    | Env.Native | Env.Docker -> 1.01 +. Prng.float rng 0.03
+                in
+                Service.handle compiled ~env ~rank ~rng ~hw_dilation ();
+                let latency = Engine.now engine -. arrival in
+                (* A per-request straggler timeout: requests slower than
+                   the deadline count as errors, not latency samples. *)
+                (match request_timeout_ns with
+                | Some deadline when latency > deadline -> incr timeouts
+                | _ -> Samples.add latencies latency);
+                incr completed;
+                serve ()
           in
           serve ()))
     workers;
   let client_rng = Prng.split (Engine.rng engine) "client" in
+  let client_done = ref false in
   Engine.spawn engine (fun () ->
       for _ = 1 to config.requests do
         let gap = -.Float.log (1.0 -. Prng.uniform client_rng) /. rate in
         Engine.delay gap;
         Mailbox.send mailbox (Engine.now engine)
-      done);
+      done;
+      client_done := true);
   let t0 = Engine.now engine in
-  Engine.run ~stop:(fun () -> !completed >= config.requests) engine;
+  (* Stop on full completion, or — degraded total loss — once the client
+     has sent everything and no worker is left to serve it. *)
+  Engine.run
+    ~stop:(fun () ->
+      !completed >= config.requests || (!client_done && !live = 0))
+    engine;
   let wall_ns = Engine.now engine -. t0 in
   let all = Samples.to_array latencies in
   let skip = int_of_float (float_of_int (Array.length all) *. config.warmup_fraction) in
   let measured = Array.sub all skip (Array.length all - skip) in
-  let s = Quantile.summarize measured in
+  let s =
+    if Array.length measured = 0 then
+      { Quantile.count = 0; mean = 0.0; median = 0.0; p95 = 0.0; p99 = 0.0;
+        min = 0.0; max = 0.0 }
+    else Quantile.summarize measured
+  in
   {
     app_name = app.Apps.name;
     kind = Env.kind_name kind;
@@ -127,6 +193,11 @@ let run_single_node ~app ~kind ~contended ?(config = default_config)
     p99 = s.Quantile.p99;
     max = s.Quantile.max;
     wall_ns;
+    degraded = !live < worker_count;
+    survivors = !live;
+    crashes = !crashes;
+    restarts = !restarts;
+    timeouts = !timeouts;
   }
 
 let percent_increase ~isolated ~contended =

@@ -34,6 +34,11 @@ type result = {
   p99 : float;
   max : float;
   wall_ns : float;  (** virtual time span of the measured phase *)
+  degraded : bool;  (** some workers crashed and did not restart *)
+  survivors : int;  (** workers still serving at the end *)
+  crashes : int;  (** injected worker crashes (fault plan) *)
+  restarts : int;  (** crashed workers that came back *)
+  timeouts : int;  (** requests exceeding [request_timeout_ns] *)
 }
 
 val run_single_node :
@@ -42,14 +47,24 @@ val run_single_node :
   contended:bool ->
   ?config:config ->
   ?noise_corpus:Ksurf_syzgen.Corpus.t ->
+  ?request_timeout_ns:float ->
   ?on_engine:(Ksurf_sim.Engine.t -> unit) ->
+  ?on_env:(Ksurf_env.Env.t -> unit) ->
   unit ->
   result
 (** One cell of Figure 3.  [noise_corpus] defaults to a freshly
     generated corpus (pass one in to share across cells).  [on_engine]
     is called on the freshly created engine before anything is spawned —
-    the hook sanitizers use to attach probes.  Deterministic for a given
-    seed. *)
+    the hook sanitizers use to attach probes — and [on_env] on the
+    freshly deployed environment — the hook fault injection uses to arm
+    a plan.  Deterministic for a given seed.
+
+    Robustness (inert without an armed fault plan): a worker whose plan
+    schedules a crash requeues its in-flight request for the survivors
+    and, if the plan allows, restarts after the downtime; with
+    [request_timeout_ns] set, requests slower than the deadline count as
+    [timeouts] instead of latency samples.  A run that permanently lost
+    workers is stamped [degraded] with the survivor count. *)
 
 val percent_increase : isolated:result -> contended:result -> float
 (** Figure 3(c): p99 increase from the isolated to the contended run,

@@ -28,11 +28,31 @@ type result = {
   ranks : int;
   iterations : int;
   wall_time_ns : float;  (** virtual time the measured phase spanned *)
+  degraded : bool;  (** some ranks crashed or were dropped *)
+  survivors : int;  (** ranks still in the barrier protocol at the end *)
+  dropped_ranks : int list;  (** in drop order *)
+  transient_retries : int;  (** injected EAGAIN/EINTR faults retried *)
+  abandoned_calls : int;  (** calls given up on after max retries *)
 }
 
 val total_invocations : result -> int
 
-val run : env:Ksurf_env.Env.t -> corpus:Ksurf_syzgen.Corpus.t -> ?params:params -> unit -> result
+val run :
+  env:Ksurf_env.Env.t ->
+  corpus:Ksurf_syzgen.Corpus.t ->
+  ?params:params ->
+  ?straggler_timeout_ns:float ->
+  unit ->
+  result
 (** Execute the corpus on every rank of [env].  Each call site collects
-    [ranks x iterations] latency samples.  Deterministic given the
-    environment's engine seed. *)
+    up to [ranks x iterations] latency samples.  Deterministic given the
+    environment's engine seed.
+
+    Robustness (all inert without an armed fault plan): transiently
+    failed calls retry with exponential backoff and recorded latencies
+    include the retry time; a rank whose fault plan schedules a crash
+    leaves the barrier ({!Ksurf_sim.Barrier.depart}) and the survivors
+    continue; with [straggler_timeout_ns] set, a watchdog also drops any
+    rank that makes no progress for that long while not waiting at the
+    barrier.  A run that lost ranks is stamped [degraded] with the
+    survivor count. *)

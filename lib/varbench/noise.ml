@@ -3,15 +3,57 @@ module Env = Ksurf_env.Env
 module Program = Ksurf_syzgen.Program
 module Corpus = Ksurf_syzgen.Corpus
 
-let issued = ref 0
+(* Process-global total, kept only for the deprecated [syscalls_issued]
+   shim; all real accounting is per-handle. *)
+let global_issued = ref 0
 
-let syscalls_issued () = !issued
+let syscalls_issued () = !global_issued
+
+type handle = {
+  mutable issued : int;
+  mutable transient_failures : int;
+  mutable abandoned : int;
+}
+
+let issued h = h.issued
+let transient_failures h = h.transient_failures
+let abandoned h = h.abandoned
 
 type stream_stats = { calls : int; mean_ns : float; p99_ns : float }
+
+let backoff_base_ns = 1_000.0
+let backoff_cap_ns = 256_000.0
+let max_retries = 10
+
+(* One call with retry-on-transient-failure: exponential backoff,
+   giving up (rarely) after [max_retries].  With no fault control
+   installed this is exactly one [exec_syscall]. *)
+let issue_with_retry h ~env ~rank (c : Program.call) =
+  let rec go attempt =
+    match Env.try_syscall env ~rank c.Program.spec c.Program.arg with
+    | Env.Completed _ ->
+        h.issued <- h.issued + 1;
+        incr global_issued;
+        true
+    | Env.Faulted _ ->
+        h.transient_failures <- h.transient_failures + 1;
+        if attempt >= max_retries then begin
+          h.abandoned <- h.abandoned + 1;
+          false
+        end
+        else begin
+          Engine.delay
+            (Float.min backoff_cap_ns
+               (backoff_base_ns *. Float.pow 2.0 (float_of_int attempt)));
+          go (attempt + 1)
+        end
+  in
+  go 0
 
 let start_general ~env ~corpus ~ranks ~think_time ~observe =
   let engine = Env.engine env in
   let programs = Corpus.programs corpus in
+  let h = { issued = 0; transient_failures = 0; abandoned = 0 } in
   List.iter
     (fun rank ->
       if rank < 0 || rank >= Env.rank_count env then
@@ -23,17 +65,19 @@ let start_general ~env ~corpus ~ranks ~think_time ~observe =
             let p = programs.(pi) in
             List.iter
               (fun (c : Program.call) ->
-                let latency =
-                  Env.exec_syscall env ~rank c.Program.spec c.Program.arg
-                in
-                observe latency;
-                incr issued)
+                let t0 = Engine.now engine in
+                if issue_with_retry h ~env ~rank c then
+                  (* Observed latency includes retries and backoff: the
+                     antagonist's effective cost of getting the call
+                     through. *)
+                  observe (Engine.now engine -. t0))
               p.Program.calls;
             if think_time > 0.0 then Engine.delay think_time;
             loop ((pi + 1) mod Array.length programs)
           in
           loop start_at))
-    ranks
+    ranks;
+  h
 
 let start ~env ~corpus ~ranks ?(think_time = 0.0) () =
   start_general ~env ~corpus ~ranks ~think_time ~observe:(fun _ -> ())
@@ -45,10 +89,11 @@ let start_tracked ~env ~corpus ~ranks ?(think_time = 0.0) () =
     Ksurf_stats.P2_quantile.add p99 latency;
     Ksurf_util.Welford.add mean latency
   in
-  start_general ~env ~corpus ~ranks ~think_time ~observe;
-  fun () ->
-    {
-      calls = Ksurf_util.Welford.count mean;
-      mean_ns = Ksurf_util.Welford.mean mean;
-      p99_ns = Ksurf_stats.P2_quantile.value p99;
-    }
+  let h = start_general ~env ~corpus ~ranks ~think_time ~observe in
+  ( h,
+    fun () ->
+      {
+        calls = Ksurf_util.Welford.count mean;
+        mean_ns = Ksurf_util.Welford.mean mean;
+        p99_ns = Ksurf_stats.P2_quantile.value p99;
+      } )

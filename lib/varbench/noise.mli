@@ -3,7 +3,27 @@
 
     Noise ranks loop over the corpus continuously (no barriers — the
     goal is sustained pressure, not synchronised measurement) until the
-    caller stops draining the engine. *)
+    caller stops draining the engine.
+
+    Noise streams are fault-aware: calls go through
+    {!Ksurf_env.Env.try_syscall}, and transiently failed calls retry
+    with exponential backoff, so an injected EAGAIN storm slows the
+    antagonist down instead of crashing it. *)
+
+type handle
+(** Per-stream accounting for one {!start} invocation.  Replaces the
+    old process-global counter, which leaked across runs in one process
+    and was a latent determinism hazard. *)
+
+val issued : handle -> int
+(** Completed noise system calls of this stream. *)
+
+val transient_failures : handle -> int
+(** Injected EAGAIN/EINTR faults this stream retried. *)
+
+val abandoned : handle -> int
+(** Calls given up on after exhausting retries (only under extreme
+    injected fault rates). *)
 
 val start :
   env:Ksurf_env.Env.t ->
@@ -11,15 +31,17 @@ val start :
   ranks:int list ->
   ?think_time:float ->
   unit ->
-  unit
+  handle
 (** Spawn an infinite noise loop on each listed rank of [env].
     [think_time] (ns, default 0) is an idle gap between programs, for
     intensity control.  Run the engine with [~until] or [~stop] to bound
     the simulation. *)
 
 val syscalls_issued : unit -> int
-(** Total noise system calls issued since process start (diagnostic;
-    monotone across runs). *)
+(** @deprecated Process-global total across every stream ever started
+    in this process; monotone across runs, so useless for per-run
+    accounting.  Use {!issued} on the {!handle} instead.  Kept as a
+    transition shim. *)
 
 type stream_stats = {
   calls : int;
@@ -33,8 +55,9 @@ val start_tracked :
   ranks:int list ->
   ?think_time:float ->
   unit ->
-  unit -> stream_stats
-(** Like {!start}, but returns a closure reporting the noise workload's
-    own latency statistics so far — useful to confirm the antagonist is
-    actually being slowed by the environment under test.  Raises
-    [Failure] if called before any call completed. *)
+  handle * (unit -> stream_stats)
+(** Like {!start}, but additionally returns a closure reporting the
+    noise workload's own latency statistics so far (latencies include
+    any retry/backoff time) — useful to confirm the antagonist is
+    actually being slowed by the environment under test.  The closure
+    raises [Failure] if called before any call completed. *)

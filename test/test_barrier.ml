@@ -84,9 +84,48 @@ let test_waiting_count () =
   Engine.run engine;
   Alcotest.(check int) "released" 0 (Barrier.waiting barrier)
 
+let test_depart_releases_survivors () =
+  let engine = Engine.create () in
+  let barrier = Barrier.create ~engine ~name:"b" ~parties:3 in
+  let released = ref 0 in
+  List.iter
+    (fun start ->
+      Engine.spawn ~at:start engine (fun () ->
+          Barrier.arrive barrier;
+          incr released))
+    [ 0.0; 5.0 ];
+  (* The third party leaves instead of arriving: the two waiters must
+     be released, not deadlocked. *)
+  Engine.spawn ~at:10.0 engine (fun () -> Barrier.depart barrier);
+  Engine.run engine;
+  Alcotest.(check int) "survivors released" 2 !released;
+  Alcotest.(check int) "parties shrunk" 2 (Barrier.parties barrier);
+  (* The shrunk barrier keeps working for the survivors. *)
+  List.iter
+    (fun start ->
+      Engine.spawn ~at:start engine (fun () ->
+          Barrier.arrive barrier;
+          incr released))
+    [ 20.0; 25.0 ];
+  Engine.run engine;
+  Alcotest.(check int) "next generation releases" 4 !released
+
+let test_depart_last_party_rejected () =
+  let engine = Engine.create () in
+  let barrier = Barrier.create ~engine ~name:"b" ~parties:1 in
+  Alcotest.(check bool) "last party cannot depart" true
+    (try
+       Barrier.depart barrier;
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [
     Alcotest.test_case "release together" `Quick test_release_together;
+    Alcotest.test_case "depart releases survivors" `Quick
+      test_depart_releases_survivors;
+    Alcotest.test_case "depart last party rejected" `Quick
+      test_depart_last_party_rejected;
     Alcotest.test_case "reusable generations" `Quick test_reusable_generations;
     Alcotest.test_case "single party" `Quick test_single_party;
     Alcotest.test_case "arrive with cost" `Quick test_arrive_with_cost;

@@ -67,9 +67,41 @@ let test_export_fig3 () =
       | [ path ] -> Alcotest.(check int) "4 cells + header" 5 (line_count path)
       | _ -> Alcotest.fail "expected one file")
 
+let test_export_dose () =
+  with_temp_dir (fun dir ->
+      let t =
+        {
+          E.Dose.plan_name = "mixed";
+          cells =
+            [
+              {
+                E.Dose.env = "native";
+                intensity = 1.0;
+                p99 = 1234.6;
+                cov = 0.25;
+                injections = 42;
+                retries = 7;
+                degraded = true;
+                survivors = 63;
+              };
+            ];
+        }
+      in
+      match Export.dose ~dir t with
+      | [ path ] ->
+          Alcotest.(check int) "1 cell + header" 2 (line_count path);
+          (* The degraded stamp and survivor count must reach the CSV. *)
+          Alcotest.(check bool) "degraded stamped" true
+            (let contents = read_file path in
+             List.exists
+               (fun line -> line = "native,1.00,1235,0.2500,42,7,true,63")
+               (String.split_on_char '\n' contents))
+      | _ -> Alcotest.fail "expected one file")
+
 let suite =
   [
     Alcotest.test_case "escape" `Quick test_escape;
+    Alcotest.test_case "export dose" `Quick test_export_dose;
     Alcotest.test_case "line" `Quick test_line;
     Alcotest.test_case "write roundtrip" `Quick test_write_roundtrip;
     Alcotest.test_case "write ragged" `Quick test_write_ragged;

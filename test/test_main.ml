@@ -29,6 +29,7 @@ let () =
       ("varbench", Test_varbench.suite);
       ("tailbench", Test_tailbench.suite);
       ("cluster", Test_cluster.suite);
+      ("fault", Test_fault.suite);
       ("lockdep", Test_lockdep.suite);
       ("analysis", Test_analysis.suite);
       ("report", Test_report.suite);

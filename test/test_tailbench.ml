@@ -118,6 +118,7 @@ let test_percent_increase () =
     {
       Runner.app_name = "x"; kind = "k"; contended = false; count = 1;
       mean = p99; p95 = p99; p99; max = p99; wall_ns = 1.0;
+      degraded = false; survivors = 1; crashes = 0; restarts = 0; timeouts = 0;
     }
   in
   Alcotest.(check (float 1e-9)) "doubling is +100%" 100.0

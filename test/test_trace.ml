@@ -83,9 +83,45 @@ let qcheck_ring_retains_suffix =
       in
       List.map snd (Trace.events trace) = expected)
 
+let test_csv_after_ring_drop () =
+  let engine = Engine.create () in
+  let trace = Trace.create ~capacity:3 ~engine () in
+  List.iter (Trace.record trace) [ "a"; "b,comma"; "c"; "d\"quote" ];
+  let csv = Trace.to_csv trace in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + 3 retained rows" 4 (List.length lines);
+  Alcotest.(check string) "header" "time_ns,label" (List.hd lines);
+  (* Oldest event fell out of the ring; the dump starts at the
+     survivor. *)
+  Alcotest.(check bool) "dropped event absent" false
+    (List.exists (fun l -> l = "0.0,a") lines);
+  Alcotest.(check bool) "comma field quoted" true
+    (List.exists (fun l -> l = "0.0,\"b,comma\"") lines);
+  Alcotest.(check bool) "quote field escaped" true
+    (List.exists (fun l -> l = "0.0,\"d\"\"quote\"") lines)
+
+let test_write_csv_roundtrip () =
+  let engine = Engine.create () in
+  let trace = Trace.create ~engine () in
+  Engine.spawn engine (fun () ->
+      Trace.record trace "start";
+      Engine.delay 100.0;
+      Trace.record trace "stop");
+  Engine.run engine;
+  let path = Filename.temp_file "ksurf_trace" ".csv" in
+  Trace.write_csv trace path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file matches to_csv" (Trace.to_csv trace) contents
+
 let suite =
   [
     Alcotest.test_case "records in order" `Quick test_records_in_order;
+    Alcotest.test_case "csv after ring drop" `Quick test_csv_after_ring_drop;
+    Alcotest.test_case "write csv roundtrip" `Quick test_write_csv_roundtrip;
     Alcotest.test_case "ring drops oldest" `Quick test_ring_drops_oldest;
     Alcotest.test_case "ring accounting at boundary" `Quick
       test_ring_accounting_at_boundary;

@@ -124,16 +124,19 @@ let test_noise_issues_calls () =
   let engine, env = tiny_env ~units:4 () in
   let corpus = Lazy.force tiny_corpus in
   let before = Noise.syscalls_issued () in
-  Noise.start ~env ~corpus ~ranks:[ 0; 1; 2 ] ();
+  let h = Noise.start ~env ~corpus ~ranks:[ 0; 1; 2 ] () in
   Engine.run ~until:1e6 engine;
-  Alcotest.(check bool) "noise ran" true (Noise.syscalls_issued () > before)
+  Alcotest.(check bool) "noise ran" true (Noise.issued h > 0);
+  (* Deprecated global shim still ticks along with the stream. *)
+  Alcotest.(check int) "global shim tracks stream" (before + Noise.issued h)
+    (Noise.syscalls_issued ())
 
 let test_noise_rank_validation () =
   let _, env = tiny_env () in
   let corpus = Lazy.force tiny_corpus in
   Alcotest.(check bool) "bad rank rejected" true
     (try
-       Noise.start ~env ~corpus ~ranks:[ 1000 ] ();
+       ignore (Noise.start ~env ~corpus ~ranks:[ 1000 ] () : Noise.handle);
        false
      with Invalid_argument _ -> true)
 
@@ -141,10 +144,9 @@ let test_noise_think_time_slows () =
   let corpus = Lazy.force tiny_corpus in
   let count think =
     let engine, env = tiny_env () in
-    let before = Noise.syscalls_issued () in
-    Noise.start ~env ~corpus ~ranks:[ 0 ] ~think_time:think ();
+    let h = Noise.start ~env ~corpus ~ranks:[ 0 ] ~think_time:think () in
     Engine.run ~until:1e7 engine;
-    Noise.syscalls_issued () - before
+    Noise.issued h
   in
   Alcotest.(check bool) "think time reduces throughput" true
     (count 1e6 < count 0.0)
@@ -207,9 +209,7 @@ let suite =
 let test_tracked_noise_stats () =
   let engine, env = tiny_env ~units:4 () in
   let corpus = Lazy.force tiny_corpus in
-  let stats_of =
-    Noise.start_tracked ~env ~corpus ~ranks:[ 0; 1 ] ()
-  in
+  let _h, stats_of = Noise.start_tracked ~env ~corpus ~ranks:[ 0; 1 ] () in
   Engine.run ~until:2e6 engine;
   let stats = stats_of () in
   Alcotest.(check bool) "calls counted" true (stats.Noise.calls > 0);
