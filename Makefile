@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test analyze-smoke inject-smoke check clean
+.PHONY: all build test analyze-smoke inject-smoke specialize-smoke check clean
 
 all: build
 
@@ -22,7 +22,14 @@ analyze-smoke:
 inject-smoke:
 	dune exec bin/ksurf_cli.exe -- inject --plan crashy --seed 42 --smoke
 
-check: build test analyze-smoke inject-smoke
+# Specialization smoke run: compile a spec from a tiny fs-restricted
+# corpus, deploy per-tenant pruned kernels (multikernel), replay twice
+# under lockdep + determinism + invariants; exits nonzero on any
+# finding or on an unexpected policy denial.
+specialize-smoke:
+	dune exec bin/ksurf_cli.exe -- specialize --seed 42 --smoke
+
+check: build test analyze-smoke inject-smoke specialize-smoke
 
 clean:
 	dune clean

@@ -54,6 +54,9 @@ let ablate_virt ~seed ~scale ~corpus =
 let dose ~seed ~scale ~corpus =
   Format.printf "%a@." E.Dose.pp (E.Dose.run ~seed ~scale ~corpus ())
 
+let specialize ~seed ~scale ~corpus =
+  Format.printf "%a@." E.Specialize.pp (E.Specialize.run ~seed ~scale ~corpus ())
+
 let experiments =
   [
     ("table1", table1);
@@ -67,6 +70,7 @@ let experiments =
     ("lwvm", lwvm);
     ("locks", locks);
     ("dose", dose);
+    ("specialize", specialize);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -81,6 +81,7 @@ let gen_corpus_cmd =
 
 let kind_of_name = function
   | "native" -> Some Ksurf.Env.Native
+  | "multikernel" -> Some Ksurf.Env.Multikernel
   | "kvm" -> Some (Ksurf.Env.Kvm Ksurf.Virt_config.default)
   | "firecracker" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.firecracker)
   | "kata" -> Some (Ksurf.Env.Kvm Ksurf.Lightweight.kata)
@@ -99,7 +100,8 @@ let run_corpus seed file env_name units iterations () =
       match kind_of_name env_name with
       | None ->
           Format.eprintf
-            "unknown environment %S (native|kvm|firecracker|kata|nabla|gvisor|docker)@."
+            "unknown environment %S \
+             (native|multikernel|kvm|firecracker|kata|nabla|gvisor|docker)@."
             env_name;
           exit 1
       | Some kind ->
@@ -136,7 +138,9 @@ let run_corpus_cmd =
     Arg.(
       value & opt string "native"
       & info [ "env" ] ~docv:"ENV"
-          ~doc:"native | kvm | firecracker | kata | nabla | gvisor | docker")
+          ~doc:
+            "native | multikernel | kvm | firecracker | kata | nabla | gvisor \
+             | docker")
   in
   let units =
     Arg.(
@@ -203,7 +207,9 @@ let analyze_cmd =
           ~doc:
             "Scenario to instrument: $(b,varbench), $(b,tailbench), $(b,bsp), \
              $(b,faulted-varbench), $(b,faulted-tailbench) (the same \
-             workloads under an armed kfault plan), or $(b,inversion) (a \
+             workloads under an armed kfault plan), \
+             $(b,specialized-varbench) (kspec-pruned multikernel deployment \
+             with the Enforce allowlist installed), or $(b,inversion) (a \
              deliberate lock-order inversion that self-tests the analyzer).")
   in
   let checks =
@@ -252,7 +258,8 @@ let inject seed plan_name env_name units intensity smoke () =
   match kind_of_name env_name with
   | None ->
       Format.eprintf
-        "unknown environment %S (native|kvm|firecracker|kata|nabla|gvisor|docker)@."
+        "unknown environment %S \
+             (native|multikernel|kvm|firecracker|kata|nabla|gvisor|docker)@."
         env_name;
       exit 1
   | Some kind ->
@@ -354,7 +361,9 @@ let inject_cmd =
     Arg.(
       value & opt string "native"
       & info [ "env" ] ~docv:"ENV"
-          ~doc:"native | kvm | firecracker | kata | nabla | gvisor | docker")
+          ~doc:
+            "native | multikernel | kvm | firecracker | kata | nabla | gvisor \
+             | docker")
   in
   let units =
     Arg.(
@@ -383,6 +392,142 @@ let inject_cmd =
     Term.(
       const inject $ seed_arg $ plan $ env_name $ units $ intensity $ smoke
       $ logs_term)
+
+(* --- specialize -------------------------------------------------------- *)
+
+(* kspec driver.  Default form runs the specialization study (stock
+   shared native vs per-tenant specialized kernels vs kvm-64 on the same
+   fs-restricted workload).  [--smoke] is the `make check` gate: run
+   the specialized deployment twice under the determinism checker with
+   lockdep + invariants attached to the first run; a policy denial (the
+   allowlist matches the corpus, so any denial is a wiring bug), a
+   replay divergence or any sanitizer finding exits nonzero. *)
+let specialize seed scale smoke export_dir () =
+  let module A = Ksurf.Analysis in
+  if smoke then begin
+    let corpus =
+      let full =
+        (Ksurf.Generator.run
+           ~params:
+             {
+               Ksurf.Generator.default_params with
+               Ksurf.Generator.seed;
+               target_programs = 8;
+             }
+           ())
+          .Ksurf.Generator.corpus
+      in
+      match Ksurf.Profile.restrict full ~keep:E.Specialize.retained with
+      | Some c -> c
+      | None -> full
+    in
+    let spec =
+      Ksurf.Specializer.compile
+        (Ksurf.Profile.of_corpus ~name:"specialize-smoke" corpus)
+    in
+    let params = { Ksurf.Harness.iterations = 2; warmup_iterations = 1 } in
+    let last = ref None in
+    let findings = ref [] in
+    let static_done = ref false in
+    let run_once ~probe =
+      let static = ref None in
+      let engine = Ksurf.Engine.create ~seed () in
+      Ksurf.Engine.add_probe engine probe;
+      if not !static_done then begin
+        let lockdep = A.Lockdep.create () in
+        let invariants = A.Invariants.create () in
+        Ksurf.Engine.add_probe engine (A.Lockdep.on_event lockdep);
+        Ksurf.Engine.add_probe engine (A.Invariants.on_event invariants);
+        static := Some (lockdep, invariants)
+      end;
+      let env =
+        Ksurf.Env.deploy ~engine
+          ~kernel_config:(Ksurf.Specializer.kernel_config spec)
+          Ksurf.Env.Multikernel
+          (Ksurf.Partition.equal_split ~units:2 ~total_cores:8
+             ~total_mem_mb:8192)
+      in
+      Ksurf.Specializer.install_all env spec;
+      let result = Ksurf.Harness.run ~env ~corpus ~params () in
+      let denials = ref 0 in
+      for rank = 0 to Ksurf.Env.rank_count env - 1 do
+        denials := !denials + Ksurf.Specializer.denials env ~rank
+      done;
+      last := Some (result, !denials);
+      match !static with
+      | None -> ()
+      | Some (lockdep, invariants) ->
+          static_done := true;
+          let drained = Ksurf.Engine.pending engine = 0 in
+          findings :=
+            !findings
+            @ A.Lockdep.finish ~drained lockdep
+            @ A.Invariants.finish ~drained invariants
+    in
+    let det =
+      timed "specialize" (fun () ->
+          A.Determinism.check ~run:(fun ~probe -> run_once ~probe) ())
+    in
+    findings := !findings @ A.Determinism.to_findings det;
+    let result, denials =
+      match !last with Some x -> x | None -> assert false
+    in
+    Format.printf "specialize smoke seed=%d@." seed;
+    Format.printf "  %a@." Ksurf.Kspec.pp spec;
+    Format.printf "  %d sites, %d invocations, %s of virtual time@."
+      (Array.length result.Ksurf.Harness.sites)
+      (Ksurf.Harness.total_invocations result)
+      (Ksurf.Report.duration_ns result.Ksurf.Harness.wall_time_ns);
+    Format.printf "  replay: %d vs %d events, hash %08x vs %08x — %s@."
+      det.A.Determinism.events_first det.A.Determinism.events_second
+      det.A.Determinism.hash_first det.A.Determinism.hash_second
+      (if A.Determinism.deterministic det then "identical" else "DIVERGENT");
+    if denials > 0 then begin
+      Format.printf
+        "  FAIL: %d policy denials (%d dropped by the harness) — the \
+         allowlist must cover its own profile@."
+        denials result.Ksurf.Harness.denied_calls;
+      exit 1
+    end;
+    List.iter (fun f -> Format.printf "  %a@." A.Finding.pp f) !findings;
+    if !findings <> [] then exit 1;
+    Format.printf
+      "  no findings: specialized run is deterministic, clean, zero denials@."
+  end
+  else begin
+    let t = timed "specialize" (fun () -> E.Specialize.run ~seed ~scale ()) in
+    Format.printf "%a@." E.Specialize.pp t;
+    match export_dir with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun p -> Format.printf "wrote %s@." p)
+          (Ksurf.Export.specialize ~dir t)
+  end
+
+let specialize_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Gate mode: double-run a specialized deployment under the \
+             sanitizers; exit nonzero on denials, divergence or findings.")
+  in
+  let export_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:"Write specialize.csv into $(docv) (study mode only).")
+  in
+  Cmd.v
+    (Cmd.info "specialize"
+       ~doc:
+         "kspec study: per-tenant specialized kernels (multikernel) vs shared native vs kvm-64 \
+          on the same fs-restricted workload")
+    Term.(
+      const specialize $ seed_arg $ scale_arg $ smoke $ export_dir $ logs_term)
 
 (* --- experiments ------------------------------------------------------ *)
 
@@ -472,6 +617,7 @@ let main_cmd =
       run_corpus_cmd;
       analyze_cmd;
       inject_cmd;
+      specialize_cmd;
       dose_cmd;
       table1_cmd;
       table2_cmd;

@@ -67,6 +67,13 @@ let describe (info : Engine.event_info) =
         display =
           Printf.sprintf "t=%g pid=%d inject %s(%g)" now pid fault magnitude;
       }
+  | Engine.Denied { now; pid; syscall; enforced } ->
+      {
+        key = Printf.sprintf "D:%Lx:%d:%s:%b" (bits now) pid syscall enforced;
+        display =
+          Printf.sprintf "t=%g pid=%d deny %s(enforced=%b)" now pid syscall
+            enforced;
+      }
 
 type divergence = {
   index : int;  (** position in the event stream, 0-based *)

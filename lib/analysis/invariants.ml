@@ -110,7 +110,7 @@ let on_event t (info : Engine.event_info) =
             add t ~severity:Finding.Error ~code:"barrier-empty-after-depart"
               (Printf.sprintf "barrier %s: left with %d parties at t=%g" name
                  parties now))
-  | Engine.Injected _ -> ()
+  | Engine.Injected _ | Engine.Denied _ -> ()
 
 (* [drained] as in {!Lockdep.finish}: stuck-process checks only make
    sense when the engine genuinely ran out of events. *)

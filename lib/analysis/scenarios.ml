@@ -23,9 +23,18 @@ type t =
   | Inversion
   | Faulted_varbench
   | Faulted_tailbench
+  | Specialized_varbench
 
 let all =
-  [ Varbench; Tailbench; Bsp; Inversion; Faulted_varbench; Faulted_tailbench ]
+  [
+    Varbench;
+    Tailbench;
+    Bsp;
+    Inversion;
+    Faulted_varbench;
+    Faulted_tailbench;
+    Specialized_varbench;
+  ]
 
 let to_string = function
   | Varbench -> "varbench"
@@ -34,6 +43,7 @@ let to_string = function
   | Inversion -> "inversion"
   | Faulted_varbench -> "faulted-varbench"
   | Faulted_tailbench -> "faulted-tailbench"
+  | Specialized_varbench -> "specialized-varbench"
 
 let of_string = function
   | "varbench" -> Some Varbench
@@ -42,13 +52,22 @@ let of_string = function
   | "inversion" -> Some Inversion
   | "faulted-varbench" -> Some Faulted_varbench
   | "faulted-tailbench" -> Some Faulted_tailbench
+  | "specialized-varbench" -> Some Specialized_varbench
   | _ -> None
 
 (* Scenarios the sanitizers must pass on; [Inversion] is the negative
    control and is excluded on purpose.  The faulted scenarios run under
    an armed kfault plan: injections must stay deterministic and
    lockdep-clean too. *)
-let stock = [ Varbench; Tailbench; Bsp; Faulted_varbench; Faulted_tailbench ]
+let stock =
+  [
+    Varbench;
+    Tailbench;
+    Bsp;
+    Faulted_varbench;
+    Faulted_tailbench;
+    Specialized_varbench;
+  ]
 
 let small_corpus ~seed =
   (Generator.run
@@ -173,6 +192,39 @@ let run_faulted_tailbench ~seed ~on_engine =
        ~config ~request_timeout_ns:1e9 ~on_engine ~on_env ());
   Option.iter Ksurf_fault.Kfault.disarm !kf
 
+(* Specialized variant: varbench on an fs-restricted corpus over a
+   multikernel deployment of kspec-pruned kernels, with the Enforce
+   allowlist installed on every rank.  Per-unit kernel boot, daemon
+   gating and the per-call policy check must stay deterministic and
+   lockdep-clean, and (the allowlist matching the restricted corpus
+   exactly) produce zero denials. *)
+let run_specialized_varbench ~seed ~on_engine =
+  let module Profile = Ksurf_spec.Profile in
+  let module Specializer = Ksurf_spec.Specializer in
+  let module Category = Ksurf_kernel.Category in
+  let corpus =
+    let full = small_corpus ~seed in
+    match Profile.restrict full ~keep:[ Category.File_io; Category.Fs_mgmt ] with
+    | Some c -> c
+    | None -> full
+  in
+  let spec =
+    Specializer.compile (Profile.of_corpus ~name:"specialized-varbench" corpus)
+  in
+  let engine = Engine.create ~seed () in
+  on_engine engine;
+  let env =
+    Env.deploy ~engine
+      ~kernel_config:(Specializer.kernel_config spec)
+      Env.Multikernel
+      (Partition.equal_split ~units:2 ~total_cores:8 ~total_mem_mb:8192)
+  in
+  Specializer.install_all env spec;
+  ignore
+    (Harness.run ~env ~corpus
+       ~params:{ Harness.iterations = 4; warmup_iterations = 1 }
+       ())
+
 let run t ~seed ~on_engine =
   match t with
   | Varbench -> run_varbench ~seed ~on_engine
@@ -181,3 +233,4 @@ let run t ~seed ~on_engine =
   | Inversion -> run_inversion ~seed ~on_engine
   | Faulted_varbench -> run_faulted_varbench ~seed ~on_engine
   | Faulted_tailbench -> run_faulted_tailbench ~seed ~on_engine
+  | Specialized_varbench -> run_specialized_varbench ~seed ~on_engine

@@ -4,7 +4,10 @@
     virtual times) that self-tests the lockdep analyzer, plus faulted
     variants that rerun varbench/tailbench under an armed kfault
     "crashy" plan — injections must stay deterministic and
-    lockdep-clean. *)
+    lockdep-clean — plus a [Specialized_varbench] variant running an
+    fs-restricted corpus under a kspec-pruned kernel with the Enforce
+    allowlist installed (daemon gating and the per-call policy check
+    under the sanitizers). *)
 
 type t =
   | Varbench
@@ -13,6 +16,7 @@ type t =
   | Inversion
   | Faulted_varbench
   | Faulted_tailbench
+  | Specialized_varbench
 
 val all : t list
 

@@ -95,7 +95,7 @@ let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed
               else
                 match kind with
                 | Env.Kvm _ -> 1.005 +. Prng.float rng 0.01
-                | Env.Native | Env.Docker -> 1.01 +. Prng.float rng 0.03
+                | Env.Native | Env.Multikernel | Env.Docker -> 1.01 +. Prng.float rng 0.03
             in
             Service.handle compiled ~env ~rank ~rng ~hw_dilation ();
             incr completed_in_iter;
@@ -172,7 +172,7 @@ let run ~app ~kind ~contended ?(config = default_config) ?noise_corpus
     let per_party =
       match kind with
       | Env.Kvm virt -> 1_500.0 +. virt.Ksurf_virt.Virt_config.virtio_net_per_msg
-      | Env.Native | Env.Docker -> 1_800.0
+      | Env.Native | Env.Multikernel | Env.Docker -> 1_800.0
     in
     per_party *. Float.ceil (Float.log (float_of_int config.nodes_total) /. Float.log 2.0)
   in

@@ -781,3 +781,138 @@ module Dose = struct
         ]
       ~rows ppf
 end
+
+module Specialize = struct
+  module Profile = Ksurf_spec.Profile
+  module Specializer = Ksurf_spec.Specializer
+  module Quantile = Ksurf_stats.Quantile
+  module Samples = Ksurf_varbench.Samples
+
+  type row = {
+    env : string;
+    p50 : float;
+    p99 : float;
+    tail_ratio : float;
+    p99_bucket : Buckets.row;
+    max_bucket : Buckets.row;
+    denials : int;
+    surface_area : float;
+  }
+
+  type t = {
+    spec : Ksurf_spec.Spec.t;
+    rows : row list;
+    corpus_calls : int;
+  }
+
+  let retained = [ Category.File_io; Category.Fs_mgmt ]
+
+  let workload ?(seed = 42) ?(scale = Full) ?corpus () =
+    let full =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    match Profile.restrict full ~keep:retained with
+    | Some c -> c
+    | None -> full
+
+  let all_samples (result : Harness.result) =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (s : Harness.site) -> Samples.to_array s.Harness.samples)
+            result.Harness.sites))
+
+  (* Variability, the varbench way: the bucket metric summarizes the
+     distribution of per-site statistics, so the headline ratio does
+     too — the fleet's median per-site p99 over its median per-site
+     p50.  Raw-sample p99/p50 would conflate jitter with workload
+     heterogeneity: a 256 KiB write is slower than a stat at p50 *and*
+     p99, and that is not variability. *)
+  let site_tail_ratio (stats : Study.site_stats array) =
+    let p50s = Array.map (fun (s : Study.site_stats) -> s.Study.median) stats in
+    let p99s = Array.map (fun (s : Study.site_stats) -> s.Study.p99) stats in
+    Quantile.median p99s /. Quantile.median p50s
+
+  let measure ~name ~env (result : Harness.result) =
+    let samples = all_samples result in
+    let p50 = Quantile.median samples in
+    let p99 = Quantile.p99 samples in
+    let stats = Study.site_stats result in
+    let ranks = Env.rank_count env in
+    let surface = ref 0.0 in
+    let denials = ref 0 in
+    for rank = 0 to ranks - 1 do
+      surface := !surface +. Env.surface_area_of_rank env rank;
+      denials := !denials + Specializer.denials env ~rank
+    done;
+    {
+      env = name;
+      p50;
+      p99;
+      tail_ratio = site_tail_ratio stats;
+      p99_bucket = Study.bucket_row Study.P99 stats;
+      max_bucket = Study.bucket_row Study.Max stats;
+      denials = !denials;
+      surface_area = !surface /. float_of_int ranks;
+    }
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+    let corpus = workload ~seed ~scale ?corpus () in
+    let spec =
+      Specializer.compile (Profile.of_corpus ~name:"varbench-fs" corpus)
+    in
+    let cell ?kernel_config ?(specialized = false) name kind units =
+      let engine = Engine.create ~seed () in
+      let env = Env.deploy ~engine ?kernel_config kind (Partition.table1 units) in
+      if specialized then Specializer.install_all env spec;
+      measure ~name ~env (Harness.run ~env ~corpus ~params:(harness_params scale) ())
+    in
+    let rows =
+      [
+        cell "native-64" Env.Native 1;
+        (* "Per-tenant specialized kernels": a MultiK-style multikernel
+           deployment — each rank gets a private pruned kernel at native
+           syscall cost, so the shared-kernel lock convoys disappear
+           without paying the KVM cpu_cost_factor tax. *)
+        cell "native-64-kspec" Env.Multikernel 64
+          ~kernel_config:(Specializer.kernel_config spec)
+          ~specialized:true;
+        cell "kvm-64" kvm_kind 64;
+      ]
+    in
+    { spec; rows; corpus_calls = Corpus.total_calls corpus }
+
+  let row t ~env = List.find_opt (fun r -> r.env = env) t.rows
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "Specialization (kspec): fs-restricted varbench (%d call sites), \
+       64 ranks per environment@.@.%a@.@."
+      t.corpus_calls Ksurf_spec.Spec.pp t.spec;
+    let cell row = Format.asprintf "%a" Buckets.pp row in
+    let rows =
+      List.concat_map
+        (fun r ->
+          [
+            [
+              r.env;
+              "p99";
+              cell r.p99_bucket;
+              Printf.sprintf "%.1f" (r.p50 /. 1e3);
+              Printf.sprintf "%.1f" (r.p99 /. 1e3);
+              Printf.sprintf "%.2f" r.tail_ratio;
+              string_of_int r.denials;
+              Printf.sprintf "%.3f" r.surface_area;
+            ];
+            [ ""; "max"; cell r.max_bucket; ""; ""; ""; ""; "" ];
+          ])
+        t.rows
+    in
+    Report.table
+      ~header:
+        [
+          "environment"; "stat"; Buckets.header; "p50 (us)"; "p99 (us)";
+          "site p99/p50"; "denials"; "surface";
+        ]
+      ~rows ppf
+end

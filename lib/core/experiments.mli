@@ -229,3 +229,55 @@ module Dose : sig
 
   val pp : Format.formatter -> t -> unit
 end
+
+(** Specialization study (kspec): can a profile-derived kernel recover
+    part of KVM's variability reduction without partitioning?  The
+    workload is the default corpus restricted to File_io + Fs_mgmt
+    calls; its profile compiles to an allowlist plus a pruned kernel
+    (kswapd, load balancer, timer tick and TLB machinery off; jbd2
+    retained).  The same workload then runs on a stock shared native
+    kernel, on the specialized shared native kernel (allowlist
+    enforced on all 64 ranks), and on 64 single-core KVM VMs. *)
+module Specialize : sig
+  type row = {
+    env : string;
+    p50 : float;  (** ns, over every measured sample *)
+    p99 : float;  (** ns *)
+    tail_ratio : float;
+        (** p99/p50 over the per-site statistics the bucket metric is
+            built from: the fleet's median per-site p99 divided by its
+            median per-site p50.  Per-site, because each site repeats
+            one identical call — raw-sample quantile ratios would
+            conflate jitter with workload heterogeneity. *)
+    p99_bucket : Ksurf_stats.Buckets.row;
+    max_bucket : Ksurf_stats.Buckets.row;
+    denials : int;  (** policy denials (0 in this study: exact profile) *)
+    surface_area : float;
+        (** mean {!Ksurf_env.Env.surface_area_of_rank} over ranks *)
+  }
+
+  type t = {
+    spec : Ksurf_spec.Spec.t;
+    rows : row list;
+        (** [native-64] (one shared kernel), [native-64-kspec]
+            (per-tenant specialized kernels: {!Ksurf_env.Env.Multikernel}
+            with the profile-pruned config and the allowlist installed),
+            [kvm-64]. *)
+    corpus_calls : int;
+  }
+
+  val retained : Ksurf_kernel.Category.t list
+  (** The categories the study keeps: File_io, Fs_mgmt. *)
+
+  val workload :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit ->
+    Ksurf_syzgen.Corpus.t
+  (** The restricted corpus ({!Ksurf_spec.Profile.restrict} to
+      {!retained}; falls back to the full corpus if nothing survives). *)
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+
+  val row : t -> env:string -> row option
+  val pp : Format.formatter -> t -> unit
+end

@@ -167,3 +167,30 @@ let dose ~dir (t : E.Dose.t) =
            ])
          t.E.Dose.cells);
   [ p ]
+
+let specialize ~dir (t : E.Specialize.t) =
+  let p = path dir "specialize.csv" in
+  Csv.write ~path:p
+    ~header:
+      ([ "environment"; "p50_ns"; "p99_ns"; "tail_ratio"; "denials";
+         "surface_area"; "statistic" ]
+      @ bucket_header)
+    ~rows:
+      (List.concat_map
+         (fun (r : E.Specialize.row) ->
+           let base =
+             [
+               r.E.Specialize.env;
+               Printf.sprintf "%.0f" r.E.Specialize.p50;
+               Printf.sprintf "%.0f" r.E.Specialize.p99;
+               Printf.sprintf "%.4f" r.E.Specialize.tail_ratio;
+               string_of_int r.E.Specialize.denials;
+               Printf.sprintf "%.4f" r.E.Specialize.surface_area;
+             ]
+           in
+           [
+             (base @ [ "p99" ]) @ bucket_cells r.E.Specialize.p99_bucket;
+             (base @ [ "max" ]) @ bucket_cells r.E.Specialize.max_bucket;
+           ])
+         t.E.Specialize.rows);
+  [ p ]

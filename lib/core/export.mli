@@ -18,3 +18,7 @@ val ablate_virt : dir:string -> Experiments.Ablate_virt.t -> string list
 val dose : dir:string -> Experiments.Dose.t -> string list
 (** One row per (environment, intensity) cell, stamped with the
     degraded flag and survivor count. *)
+
+val specialize : dir:string -> Experiments.Specialize.t -> string list
+(** Two rows (p99, max buckets) per environment, stamped with p50/p99,
+    tail ratio, denial count and mean surface area. *)

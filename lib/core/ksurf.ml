@@ -15,6 +15,8 @@
     - {!Machine}, {!Partition}, {!Env} — deployments and surface-area
       partitioning
     - {!Harness}, {!Study}, {!Noise} — the varbench measurement harness
+    - {!Profile}, {!Kspec}, {!Specializer} — profile-guided kernel
+      specialization (see [ksurf_cli specialize])
     - {!Analysis} — opt-in sanitizers: lockdep, determinism checker,
       engine invariants (see [ksurf_cli analyze])
     - {!Fault_plan}, {!Kfault} — deterministic fault injection (see
@@ -71,6 +73,10 @@ module Container = Ksurf_container.Container
 module Machine = Ksurf_env.Machine
 module Partition = Ksurf_env.Partition
 module Env = Ksurf_env.Env
+
+module Profile = Ksurf_spec.Profile
+module Kspec = Ksurf_spec.Spec
+module Specializer = Ksurf_spec.Specializer
 
 module Samples = Ksurf_varbench.Samples
 module Harness = Ksurf_varbench.Harness

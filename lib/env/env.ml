@@ -6,9 +6,13 @@ module Vm = Ksurf_virt.Vm
 module Hypervisor = Ksurf_virt.Hypervisor
 module Container = Ksurf_container.Container
 
-type kind = Native | Kvm of Ksurf_virt.Virt_config.t | Docker
+type kind = Native | Multikernel | Kvm of Ksurf_virt.Virt_config.t | Docker
 
-let kind_name = function Native -> "native" | Kvm _ -> "kvm" | Docker -> "docker"
+let kind_name = function
+  | Native -> "native"
+  | Multikernel -> "multikernel"
+  | Kvm _ -> "kvm"
+  | Docker -> "docker"
 
 type target =
   | On_host of Instance.t  (** native: straight to the host kernel *)
@@ -24,6 +28,7 @@ let errno_name = function EAGAIN -> "EAGAIN" | EINTR -> "EINTR"
 type syscall_outcome =
   | Completed of float
   | Faulted of { errno : errno; latency_ns : float }
+  | Denied of { latency_ns : float }
 
 type fault_ctl = {
   syscall_errno : rank:int -> Spec.t -> errno option;
@@ -63,6 +68,38 @@ let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Conf
       let ranks = Array.of_list (List.rev !ranks) in
       Instance.set_tenants host (Array.length ranks);
       { kind; engine; ranks; instances = [ host ]; fault = None }
+  | Multikernel ->
+      (* MultiK-style: one (typically specialized) kernel instance per
+         partition unit, on bare metal.  Ranks pay native syscall costs —
+         no exit/virtio tax — but share kernel state only with their own
+         unit, so cross-unit lock convoys vanish with the sharing. *)
+      let ranks = ref [] in
+      let core = ref 0 in
+      let kernels =
+        List.mapi
+          (fun unit_index (u : Partition.unit_spec) ->
+            let inst =
+              Ksurf_kernel.Kernel.boot ~engine ~config:kernel_config
+                ~id:unit_index ~cores:u.Partition.cores
+                ~mem_mb:u.Partition.mem_mb ()
+            in
+            Instance.set_tenants inst u.Partition.cores;
+            for _ = 1 to u.Partition.cores do
+              ranks :=
+                { target = On_host inst; unit_index; global_core = !core }
+                :: !ranks;
+              incr core
+            done;
+            inst)
+          units
+      in
+      {
+        kind;
+        engine;
+        ranks = Array.of_list (List.rev !ranks);
+        instances = kernels;
+        fault = None;
+      }
   | Kvm virt ->
       let hv = Hypervisor.create ~engine ~kernel_config ~virt () in
       let ranks = ref [] in
@@ -142,8 +179,43 @@ let exec_ops t ~rank:i ~key ops =
   | On_ctr (ctr, core) -> Container.exec_syscall ctr ~core ~tenant:i ~key ops);
   Engine.now t.engine -. t0
 
+let instance_of_rank t i =
+  match (rank t i).target with
+  | On_host host -> host
+  | On_vm (vm, _) -> Vm.guest vm
+  | On_ctr (ctr, _) -> Container.host ctr
+
+(* Specialization policy (kspec): consult the calling rank's seccomp-style
+   allowlist, if one is installed on the instance behind it.  Every
+   rejection is counted and probe-visible; only Enforce mode actually
+   stops the call. *)
+let policy_check t ~rank:i (spec : Ksurf_syscalls.Spec.t) =
+  match Instance.syscall_policy (instance_of_rank t i) ~tenant:i with
+  | None -> `Allowed
+  | Some p ->
+      if p.Instance.allows spec.Spec.name then `Allowed
+      else begin
+        incr p.Instance.denials;
+        let enforced = p.Instance.policy_mode = Instance.Enforce in
+        if Engine.observed t.engine then
+          Engine.emit t.engine
+            (Engine.Denied
+               {
+                 now = Engine.now t.engine;
+                 pid = Engine.current_pid t.engine;
+                 syscall = spec.Spec.name;
+                 enforced;
+               });
+        if enforced then `Denied else `Allowed
+      end
+
 let exec_syscall t ~rank spec (arg : Arg.t) =
-  exec_ops t ~rank ~key:arg.Arg.obj (spec.Spec.ops arg)
+  match policy_check t ~rank spec with
+  | `Allowed -> exec_ops t ~rank ~key:arg.Arg.obj (spec.Spec.ops arg)
+  | `Denied ->
+      (* ENOSYS: the call pays the entry path (trap, filter evaluation,
+         early bail-out) and nothing else. *)
+      exec_ops t ~rank ~key:arg.Arg.obj []
 
 let set_fault_ctl t ctl = t.fault <- ctl
 let fault_ctl t = t.fault
@@ -155,31 +227,45 @@ let restart_delay_of_rank t ~rank =
   match t.fault with None -> None | Some ctl -> ctl.restart_after ~rank
 
 let try_syscall t ~rank:i spec (arg : Arg.t) =
-  match t.fault with
-  | None -> Completed (exec_syscall t ~rank:i spec arg)
-  | Some ctl -> (
-      match ctl.syscall_errno ~rank:i spec with
-      | None -> Completed (exec_syscall t ~rank:i spec arg)
-      | Some errno ->
-          (* The aborted call still pays the entry path (trap, argument
-             copy, early bail-out) — an empty op program wrapped the
-             same way as a real one. *)
-          let latency_ns = exec_ops t ~rank:i ~key:arg.Arg.obj [] in
-          Faulted { errno; latency_ns })
+  match policy_check t ~rank:i spec with
+  | `Denied ->
+      (* The policy filter runs before the fault model: a call seccomp
+         rejects never reaches the paths kfault perturbs. *)
+      let latency_ns = exec_ops t ~rank:i ~key:arg.Arg.obj [] in
+      Denied { latency_ns }
+  | `Allowed -> (
+      let exec_allowed () = exec_ops t ~rank:i ~key:arg.Arg.obj (spec.Spec.ops arg) in
+      match t.fault with
+      | None -> Completed (exec_allowed ())
+      | Some ctl -> (
+          match ctl.syscall_errno ~rank:i spec with
+          | None -> Completed (exec_allowed ())
+          | Some errno ->
+              (* The aborted call still pays the entry path (trap, argument
+                 copy, early bail-out) — an empty op program wrapped the
+                 same way as a real one. *)
+              let latency_ns = exec_ops t ~rank:i ~key:arg.Arg.obj [] in
+              Faulted { errno; latency_ns }))
 
 let instances t = t.instances
 
 let barrier_cost_per_party t =
   match t.kind with
   | Native -> 1_500.0
+  | Multikernel -> 1_550.0 (* cross-kernel shared-memory doorbell *)
   | Docker -> 1_800.0 (* veth/bridge hop *)
   | Kvm virt -> 1_500.0 +. virt.Ksurf_virt.Virt_config.virtio_net_per_msg
 
+(* Functional surface area: the structural sharing term scaled by the
+   fraction of the coverage universe the rank's specialization policy
+   leaves reachable.  An unspecialized rank sees the full structural
+   area (reachable = 1). *)
 let surface_area_of_rank t i =
-  match (rank t i).target with
-  | On_host host -> Instance.surface_area host
-  | On_vm (vm, _) -> Instance.surface_area (Vm.guest vm)
-  | On_ctr (ctr, _) -> Instance.surface_area (Container.host ctr)
+  let inst = instance_of_rank t i in
+  let structural = Instance.surface_area inst in
+  match Instance.syscall_policy inst ~tenant:i with
+  | None -> structural
+  | Some p -> structural *. p.Instance.reachable
 
 let busy_of_rank t i =
   match (rank t i).target with

@@ -10,6 +10,13 @@
 
 type kind =
   | Native
+  | Multikernel
+      (** MultiK-style deployment: one kernel instance per partition
+          unit, booted on bare metal with the deployment's
+          [kernel_config] (typically pruned by
+          [Ksurf_spec.Specializer.kernel_config]).  Ranks pay native
+          syscall costs — no virtualization tax — but share kernel
+          state only within their own unit. *)
   | Kvm of Ksurf_virt.Virt_config.t
   | Docker
 
@@ -39,7 +46,10 @@ val unit_of_rank : t -> int -> int
 val exec_syscall :
   t -> rank:int -> Ksurf_syscalls.Spec.t -> Ksurf_syscalls.Arg.t -> float
 (** Execute one call from the given rank and return its latency in ns.
-    Must run inside a simulation process. *)
+    Must run inside a simulation process.  Consults the rank's
+    specialization policy first (see {!Ksurf_kernel.Instance.syscall_policy}):
+    an [Enforce]-mode rejection pays only the entry path; use
+    {!try_syscall} to distinguish denial from completion. *)
 
 val exec_ops : t -> rank:int -> key:int -> Ksurf_kernel.Ops.op list -> float
 (** Lower-level entry point for application models that synthesise their
@@ -61,6 +71,10 @@ type syscall_outcome =
   | Completed of float  (** latency in ns, as {!exec_syscall} *)
   | Faulted of { errno : errno; latency_ns : float }
       (** the call aborted early; [latency_ns] covers the entry path *)
+  | Denied of { latency_ns : float }
+      (** an [Enforce]-mode specialization policy rejected the call
+          (ENOSYS); [latency_ns] covers the entry path.  Not a transient
+          failure — retrying cannot succeed. *)
 
 type fault_ctl = {
   syscall_errno : rank:int -> Ksurf_syscalls.Spec.t -> errno option;
@@ -83,20 +97,30 @@ val try_syscall :
   Ksurf_syscalls.Spec.t ->
   Ksurf_syscalls.Arg.t ->
   syscall_outcome
-(** Like {!exec_syscall} but consults the fault control first.  A
-    faulted call burns only the syscall entry path and reports the
-    injected errno; callers own the retry policy. *)
+(** Like {!exec_syscall} but reports denials and consults the fault
+    control.  The specialization policy filter runs first (a call
+    seccomp rejects never reaches the faultable paths); a faulted or
+    denied call burns only the syscall entry path.  Callers own the
+    retry policy — and must not retry [Denied]. *)
 
 val instances : t -> Ksurf_kernel.Instance.t list
 (** All kernel instances serving this deployment (1 for native/Docker,
     one per VM for KVM), for diagnostics. *)
+
+val instance_of_rank : t -> int -> Ksurf_kernel.Instance.t
+(** The kernel instance serving a rank.  The rank index doubles as the
+    tenant id on that instance — the key under which kspec installs
+    per-tenant syscall policies. *)
 
 val barrier_cost_per_party : t -> float
 (** Network cost of one barrier round for this deployment: MPI over
     loopback (native/Docker) vs over virtio/TAP (KVM). *)
 
 val surface_area_of_rank : t -> int -> float
-(** Normalised surface area of the kernel instance behind a rank. *)
+(** Functional surface area of the kernel behind a rank: the structural
+    sharing term ({!Ksurf_kernel.Instance.surface_area}) multiplied by
+    the fraction of the coverage universe the rank's specialization
+    policy leaves reachable (1 when no policy is installed). *)
 
 val busy_of_rank : t -> int -> float
 (** {!Ksurf_kernel.Instance.busy_fraction} of the kernel instance behind

@@ -118,8 +118,14 @@ let start inst =
           Engine.delay phase;
           forever ~interval ~rng (body inst rng) ())
     in
-    spawn "jbd2" cfg.Config.journal_commit_interval journal_daemon;
-    spawn "kswapd" cfg.Config.kswapd_interval kswapd_daemon;
-    spawn "load_balancer" cfg.Config.balancer_interval balancer_daemon;
-    spawn "cgroup_flusher" cfg.Config.flusher_interval flusher_daemon
+    (* Per-daemon switches: a specialized kernel spawns only the
+       daemons its retained syscall categories need. *)
+    if cfg.Config.enable_journal_daemon then
+      spawn "jbd2" cfg.Config.journal_commit_interval journal_daemon;
+    if cfg.Config.enable_kswapd then
+      spawn "kswapd" cfg.Config.kswapd_interval kswapd_daemon;
+    if cfg.Config.enable_load_balancer then
+      spawn "load_balancer" cfg.Config.balancer_interval balancer_daemon;
+    if cfg.Config.enable_stat_flusher then
+      spawn "cgroup_flusher" cfg.Config.flusher_interval flusher_daemon
   end

@@ -2,6 +2,10 @@ module Dist = Ksurf_util.Dist
 
 type t = {
   enable_background : bool;
+  enable_journal_daemon : bool;
+  enable_kswapd : bool;
+  enable_load_balancer : bool;
+  enable_stat_flusher : bool;
   enable_tlb_shootdown : bool;
   enable_cgroup_accounting : bool;
   enable_timer_noise : bool;
@@ -39,6 +43,10 @@ type t = {
 let default =
   {
     enable_background = true;
+    enable_journal_daemon = true;
+    enable_kswapd = true;
+    enable_load_balancer = true;
+    enable_stat_flusher = true;
     enable_tlb_shootdown = true;
     enable_cgroup_accounting = true;
     enable_timer_noise = true;
@@ -90,3 +98,16 @@ let without_background t = { t with enable_background = false }
 let without_tlb_shootdown t = { t with enable_tlb_shootdown = false }
 let without_cgroup_accounting t = { t with enable_cgroup_accounting = false }
 let without_timer_noise t = { t with enable_timer_noise = false }
+
+(* Specialization: switch off one machinery (see Ops.machinery_of_category).
+   Composable, so the specializer folds it over everything the retained
+   categories do not need. *)
+let without_machinery (m : Ops.machinery) t =
+  match m with
+  | Ops.Load_balancer -> { t with enable_load_balancer = false }
+  | Ops.Timer_tick -> { t with enable_timer_noise = false }
+  | Ops.Kswapd -> { t with enable_kswapd = false }
+  | Ops.Tlb_shootdown_m -> { t with enable_tlb_shootdown = false }
+  | Ops.Journal_daemon -> { t with enable_journal_daemon = false }
+  | Ops.Cgroup_accounting_m ->
+      { t with enable_cgroup_accounting = false; enable_stat_flusher = false }

@@ -9,7 +9,11 @@
 type t = {
   (* --- switches (ablations) ------------------------------------- *)
   enable_background : bool;
-      (** journal commit, kswapd, load balancer, stat flusher daemons *)
+      (** master switch for all background daemons *)
+  enable_journal_daemon : bool;  (** periodic journal commits (jbd2) *)
+  enable_kswapd : bool;  (** background page reclaim *)
+  enable_load_balancer : bool;  (** periodic runqueue balancing *)
+  enable_stat_flusher : bool;  (** cgroup statistics flusher *)
   enable_tlb_shootdown : bool;  (** cross-core TLB invalidation IPIs *)
   enable_cgroup_accounting : bool;  (** memcg charge path for containers *)
   enable_timer_noise : bool;  (** per-tick interruption of in-kernel work *)
@@ -69,3 +73,9 @@ val without_background : t -> t
 val without_tlb_shootdown : t -> t
 val without_cgroup_accounting : t -> t
 val without_timer_noise : t -> t
+
+val without_machinery : Ops.machinery -> t -> t
+(** Switch off one machinery (per-daemon switch, shootdowns, the tick,
+    or the cgroup charge path + flusher together).  Composable; the
+    specializer folds it over every machinery the retained syscall
+    categories do not touch. *)

@@ -52,6 +52,19 @@ type t = {
      daemons' lock holds (a daemon storm). *)
   mutable burn_mult : float;
   mutable daemon_hold_mult : (string -> float) option;
+  (* Specialization state, written by kspec (lib/spec): per-tenant
+     syscall policies on a shared instance (seccomp-style filters
+     installed per process).  Consulted by Env on every syscall. *)
+  policies : (int, syscall_policy) Hashtbl.t;
+}
+
+and policy_mode = Audit | Enforce
+
+and syscall_policy = {
+  allows : string -> bool;  (** syscall name -> permitted? *)
+  policy_mode : policy_mode;
+  reachable : float;  (** fraction of the coverage universe left reachable *)
+  denials : int ref;  (** incremented on every rejected call *)
 }
 
 type activity_class = Fs_activity | Mm_activity | Sched_activity | Charge_activity
@@ -118,6 +131,7 @@ let boot ~engine ~config ~id ~cores ~mem_mb ?block_dev () =
     activity = Array.make 4 0;
     burn_mult = 1.0;
     daemon_hold_mult = None;
+    policies = Hashtbl.create 8;
   }
 
 let engine t = t.engine
@@ -160,6 +174,19 @@ let daemon_hold_mult t ~daemon =
 let set_cache_pressure t p =
   Caches.set_extra_pressure t.dcache p;
   Caches.set_extra_pressure t.page_cache p
+
+(* --- specialization controls (kspec) --------------------------------- *)
+
+let set_syscall_policy t ~tenant policy =
+  match policy with
+  | None -> Hashtbl.remove t.policies tenant
+  | Some p ->
+      if not (p.reachable > 0.0 && p.reachable <= 1.0) then
+        invalid_arg "Instance.set_syscall_policy: reachable must be in (0, 1]";
+      Hashtbl.replace t.policies tenant p
+
+let syscall_policy t ~tenant = Hashtbl.find_opt t.policies tenant
+let policy_count t = Hashtbl.length t.policies
 
 (* A core driving the kernel flat out executes roughly one op per 12 µs (lock convoys and sleeps included);
    [busy] is the instance's smoothed per-core rate relative to that. *)

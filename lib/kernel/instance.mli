@@ -128,3 +128,32 @@ val daemon_hold_mult : t -> daemon:string -> float
 val set_cache_pressure : t -> float -> unit
 (** Extra hit-rate penalty on both software caches (dcache and page
     cache) — a cache-flush storm window.  0.0 restores stock. *)
+
+(** {2 Specialization controls}
+
+    Written by kspec ([lib/spec]): per-tenant syscall policies on a
+    shared instance — the seccomp-style allowlist a specialized kernel
+    installs for each process.  [Ksurf_env.Env] consults the calling
+    rank's policy on every system call; with no policy installed (the
+    default) behaviour is exactly as before. *)
+
+type policy_mode =
+  | Audit  (** log-only: denied calls still execute *)
+  | Enforce  (** denied calls fail ENOSYS after the entry path *)
+
+type syscall_policy = {
+  allows : string -> bool;  (** syscall name -> permitted? *)
+  policy_mode : policy_mode;
+  reachable : float;
+      (** fraction of the coverage universe the policy leaves reachable,
+          in (0, 1] — the functional term of the surface-area metric *)
+  denials : int ref;  (** incremented on every rejected call *)
+}
+
+val set_syscall_policy : t -> tenant:int -> syscall_policy option -> unit
+(** Install ([Some]) or remove ([None]) a tenant's policy.  Raises
+    [Invalid_argument] if [reachable] is outside (0, 1]. *)
+
+val syscall_policy : t -> tenant:int -> syscall_policy option
+val policy_count : t -> int
+(** Number of tenants with an installed policy. *)

@@ -69,3 +69,42 @@ let pp_op ppf = function
 
 let total_fixed_cost ops =
   List.fold_left (fun acc op -> match op with Cpu ns -> acc +. ns | _ -> acc) 0.0 ops
+
+(* Kernel machinery that exists to serve specific syscall categories.
+   The specializer (lib/spec) prunes every machinery no retained
+   category needs — the KASR/unikernel move of compiling subsystems out
+   of a workload-specific kernel build. *)
+type machinery =
+  | Load_balancer  (** periodic runqueue balancing (scheduler) *)
+  | Timer_tick  (** the periodic scheduler tick (NO_HZ_FULL when pruned) *)
+  | Kswapd  (** background page reclaim *)
+  | Tlb_shootdown_m  (** cross-core TLB invalidation broadcasts *)
+  | Journal_daemon  (** periodic filesystem journal commits *)
+  | Cgroup_accounting_m  (** memcg/io charge path and stat flusher *)
+
+let machinery_name = function
+  | Load_balancer -> "load_balancer"
+  | Timer_tick -> "timer_tick"
+  | Kswapd -> "kswapd"
+  | Tlb_shootdown_m -> "tlb_shootdown"
+  | Journal_daemon -> "journal_daemon"
+  | Cgroup_accounting_m -> "cgroup_accounting"
+
+let all_machinery =
+  [
+    Load_balancer; Timer_tick; Kswapd; Tlb_shootdown_m; Journal_daemon;
+    Cgroup_accounting_m;
+  ]
+
+(* A workload that never manages processes runs tickless with no
+   balancing; one that never grows its address space needs neither
+   reclaim nor shootdowns (memory is fixed at boot, unikernel-style);
+   only filesystem users dirty the journal; cgroup controllers charge
+   memory and I/O. *)
+let machinery_of_category = function
+  | Category.Process -> [ Load_balancer; Timer_tick ]
+  | Category.Memory -> [ Kswapd; Tlb_shootdown_m; Cgroup_accounting_m ]
+  | Category.File_io -> [ Journal_daemon; Cgroup_accounting_m ]
+  | Category.Fs_mgmt -> [ Journal_daemon ]
+  | Category.Ipc -> []
+  | Category.Perm -> []

@@ -53,3 +53,25 @@ val pp_op : Format.formatter -> op -> unit
 val total_fixed_cost : op list -> float
 (** Sum of the deterministic [Cpu] components — a lower bound on the
     latency of the op program, used by tests and the coverage model. *)
+
+(** Kernel machinery that exists to serve specific syscall categories.
+    The specializer ([lib/spec]) switches off every machinery that no
+    retained category touches, via {!Config.without_machinery}. *)
+type machinery =
+  | Load_balancer  (** periodic runqueue balancing (scheduler) *)
+  | Timer_tick  (** the periodic scheduler tick (NO_HZ_FULL when pruned) *)
+  | Kswapd  (** background page reclaim *)
+  | Tlb_shootdown_m  (** cross-core TLB invalidation broadcasts *)
+  | Journal_daemon  (** periodic filesystem journal commits *)
+  | Cgroup_accounting_m  (** memcg/io charge path and stat flusher *)
+
+val machinery_name : machinery -> string
+val all_machinery : machinery list
+
+val machinery_of_category : Category.t -> machinery list
+(** The machinery a category depends on: a kernel retaining only some
+    categories may drop everything outside the union of their lists.
+    Process needs the tick and the balancer; Memory needs reclaim,
+    shootdowns and the memcg controller; File_io/Fs_mgmt dirty the
+    journal (File_io also charges the io controller); Ipc and Perm need
+    no prunable machinery. *)

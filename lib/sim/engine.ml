@@ -40,6 +40,9 @@ and event_info =
   | Injected of { now : float; pid : int; fault : string; magnitude : float }
       (** a fault injector (kfault) perturbed the simulation; [fault]
           names the mechanism, [magnitude] its size in natural units *)
+  | Denied of { now : float; pid : int; syscall : string; enforced : bool }
+      (** a specialization policy (kspec) rejected a system call;
+          [enforced] distinguishes ENOSYS failures from audit-only logs *)
 
 and sync_op =
   | Acquire of { contended : bool }

@@ -36,6 +36,13 @@ type event_info =
           through the same probe stream as every other event, so the
           determinism checker hashes injections along with the behaviour
           they cause. *)
+  | Denied of { now : float; pid : int; syscall : string; enforced : bool }
+      (** A kernel-specialization policy (kspec) rejected [syscall] for
+          the calling tenant.  [enforced] is [true] when the call failed
+          with ENOSYS (Enforce mode) and [false] when it was only logged
+          (Audit mode).  Probe-visible so the determinism checker hashes
+          denials and sanitizer scenarios can assert specialized runs
+          are violation-free. *)
 
 (** Synchronisation-primitive operations, reported by {!Lock},
     {!Rwlock} and {!Barrier} through their engine.  Acquire events are

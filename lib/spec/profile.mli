@@ -1,0 +1,60 @@
+(** Workload profile: what a tenant's workload actually touches.
+
+    The measurement half of kspec.  A profile records, for one
+    workload, the system calls it issues, how its call sites distribute
+    over the paper's six categories, and the kernel basic blocks it
+    covers (the same coverage model syzgen uses).  Profiles come from
+    two places: a syzgen corpus ({!of_corpus}, the offline path) or a
+    live run observed program-by-program ({!recorder}, the online
+    path).  {!Specializer.compile} turns a profile into an enforceable
+    {!Spec.t}. *)
+
+type t = {
+  name : string;
+  syscalls : string list;  (** unique, sorted by name *)
+  categories : (Ksurf_kernel.Category.t * int) list;
+      (** call sites per category, in {!Ksurf_kernel.Category.all}
+          order (multi-category calls counted in each) *)
+  coverage : Ksurf_syzgen.Coverage.Set.t;
+}
+
+val of_corpus : name:string -> Ksurf_syzgen.Corpus.t -> t
+
+val retained_categories : t -> Ksurf_kernel.Category.t list
+(** Categories with at least one observed call site, in
+    {!Ksurf_kernel.Category.all} order.  Everything else is machinery
+    the specialized kernel can drop. *)
+
+val restrict :
+  Ksurf_syzgen.Corpus.t ->
+  keep:Ksurf_kernel.Category.t list ->
+  Ksurf_syzgen.Corpus.t option
+(** Per-call restriction of a corpus: keep the calls whose categories
+    are all in [keep], drop programs left empty.  [None] when nothing
+    survives.  This is how a study pins a workload to a subsystem
+    subset before profiling it. *)
+
+(** {2 Live recording}
+
+    Observe programs as a harness issues them — e.g. feed every
+    program of a varbench iteration — then {!snapshot} the profile. *)
+
+type recorder
+
+val recorder : name:string -> unit -> recorder
+val observe : recorder -> Ksurf_syzgen.Program.t -> unit
+val observed_programs : recorder -> int
+
+val snapshot : recorder -> t
+(** Raises [Invalid_argument] if nothing was observed. *)
+
+(** {2 Serialisation} *)
+
+val to_string : t -> string
+(** Line-based form: profile name, syscall list, per-category counts,
+    coverage block ids.  Stable for equal profiles. *)
+
+val of_string : string -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

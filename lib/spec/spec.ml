@@ -1,0 +1,24 @@
+module Category = Ksurf_kernel.Category
+
+type mode = Audit | Enforce
+
+type t = {
+  profile_name : string;
+  allowlist : string list;
+  retained : Category.t list;
+  mode : mode;
+  reachable : float;
+}
+
+let mode_to_string = function Audit -> "audit" | Enforce -> "enforce"
+let allows t name = List.mem name t.allowlist
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>spec for %s (%s): %d syscalls allowed, %.1f%% of universe \
+     reachable@,retained: %a@]"
+    t.profile_name (mode_to_string t.mode)
+    (List.length t.allowlist)
+    (100.0 *. t.reachable)
+    Fmt.(list ~sep:(any ", ") Category.pp)
+    t.retained

@@ -1,0 +1,28 @@
+(** A compiled specialization: the reduce half of kspec.
+
+    The declarative result of {!Specializer.compile} on a
+    {!Profile.t} — a seccomp-style syscall allowlist, the op
+    categories the workload needs, the enforcement mode, and the
+    fraction of the coverage universe the allowlist leaves
+    reachable.  Installing one changes a kernel instance's behaviour;
+    the spec itself is pure data and serialises into reports. *)
+
+type mode =
+  | Audit  (** log denials (probe-visible), let the call run *)
+  | Enforce  (** deny with ENOSYS after the entry path *)
+
+type t = {
+  profile_name : string;
+  allowlist : string list;  (** permitted syscall names, sorted *)
+  retained : Ksurf_kernel.Category.t list;
+      (** categories the allowlist can exercise — the machinery keyed
+          to every other category is prunable *)
+  mode : mode;
+  reachable : float;
+      (** fraction of {!Ksurf_syzgen.Coverage.universe} reachable
+          through the allowlist, in (0, 1] *)
+}
+
+val mode_to_string : mode -> string
+val allows : t -> string -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Compile a {!Profile.t} into a {!Spec.t} and wire it into a
+    deployment — the closed measure→reduce loop.
+
+    Three reductions come out of one profile:
+    - a per-tenant syscall allowlist, installed on the tenant's kernel
+      instance and checked by {!Ksurf_env.Env} on every call;
+    - a pruned {!Ksurf_kernel.Config.t}: background daemons, timer
+      noise, and accounting machinery keyed to categories the profile
+      never exercises are switched off (see
+      {!Ksurf_kernel.Ops.machinery_of_category});
+    - a functional surface-area term, {!Spec.t.reachable}, multiplying
+      the structural sharing term in
+      {!Ksurf_env.Env.surface_area_of_rank}. *)
+
+val reachable_fraction : allowlist:string list -> float
+(** |union of {!Ksurf_syzgen.Coverage.universe_of_call} over the
+    allowlist| / |{!Ksurf_syzgen.Coverage.universe}|.  Monotone in the
+    allowlist; unknown names contribute nothing. *)
+
+val compile : ?mode:Spec.mode -> Profile.t -> Spec.t
+(** [mode] defaults to [Enforce].  Raises [Invalid_argument] on a
+    profile with an empty syscall list. *)
+
+val pruned_machinery : Spec.t -> Ksurf_kernel.Ops.machinery list
+(** Machinery needed by no retained category, in
+    {!Ksurf_kernel.Ops.all_machinery} order. *)
+
+val kernel_config :
+  ?base:Ksurf_kernel.Config.t -> Spec.t -> Ksurf_kernel.Config.t
+(** [base] (default {!Ksurf_kernel.Config.default}) with every pruned
+    machinery switched off.  Pass as [~kernel_config] to
+    {!Ksurf_env.Env.deploy}. *)
+
+val install : Ksurf_env.Env.t -> rank:int -> Spec.t -> unit
+(** Install the spec's allowlist as rank [rank]'s syscall policy on
+    the instance serving that rank. *)
+
+val install_all : Ksurf_env.Env.t -> Spec.t -> unit
+(** {!install} for every rank of the deployment. *)
+
+val denials : Ksurf_env.Env.t -> rank:int -> int
+(** Denials charged to [rank]'s policy so far (0 without a policy). *)

@@ -14,6 +14,12 @@ module Set = struct
   let diff_cardinal a b = Int_set.cardinal (Int_set.diff a b)
   let subset = Int_set.subset
   let mem = Int_set.mem
+
+  (* Int_set iterates in increasing element order, so both traversals
+     are stable — profiles serialize coverage through them. *)
+  let fold f t acc = Int_set.fold f t acc
+  let to_list = Int_set.elements
+  let of_list = Int_set.of_list
 end
 
 (* Discriminant of an op: which argument-independent structure it is.
@@ -65,6 +71,43 @@ let of_program (prog : Program.t) =
       (None, Int_set.empty) prog.Program.calls
   in
   acc
+
+(* All blocks one syscall can ever express: every (size bucket, flags)
+   combination of its argument model, no edges.  One representative size
+   per bucket — by construction same-bucket sizes share all block ids. *)
+let universe_of_call (spec : Spec.t) =
+  let model = spec.Spec.arg_model in
+  let sizes =
+    if Array.length model.Arg.sizes = 0 then [ 0 ]
+    else
+      Array.to_list model.Arg.sizes
+      |> List.map (fun s -> (Arg.size_bucket s, s))
+      |> List.sort_uniq (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.map snd
+  in
+  let acc = ref Int_set.empty in
+  List.iter
+    (fun size ->
+      for flags = 0 to max 1 model.Arg.max_flags - 1 do
+        let arg = { Arg.size; obj = 0; flags } in
+        acc := Int_set.union !acc (blocks_of_call ~prev:None spec arg)
+      done)
+    sizes;
+  !acc
+
+let universe =
+  let cached = ref None in
+  fun () ->
+    match !cached with
+    | Some u -> u
+    | None ->
+        let u =
+          Array.fold_left
+            (fun acc spec -> Int_set.union acc (universe_of_call spec))
+            Int_set.empty Ksurf_syscalls.Syscalls.all
+        in
+        cached := Some u;
+        u
 
 let universe_estimate () =
   (* Every (syscall, size bucket, flags) combination contributes its op

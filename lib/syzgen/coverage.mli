@@ -22,6 +22,16 @@ module Set : sig
 
   val subset : t -> t -> bool
   val mem : int -> t -> bool
+
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+  (** Fold over block ids in increasing order (stable across runs —
+      block ids are stable hashes). *)
+
+  val to_list : t -> int list
+  (** Block ids in increasing order. *)
+
+  val of_list : int list -> t
+  (** Inverse of {!to_list} (accepts any order). *)
 end
 
 val blocks_of_call :
@@ -34,6 +44,15 @@ val blocks_of_call :
 
 val of_program : Program.t -> Set.t
 (** Union over the program's calls (with sequential edges). *)
+
+val universe_of_call : Ksurf_syscalls.Spec.t -> Set.t
+(** Every block one syscall can express across its whole argument model
+    (no edge blocks) — the per-call term of the functional surface-area
+    metric. *)
+
+val universe : unit -> Set.t
+(** Union of {!universe_of_call} over the full syscall table (memoized;
+    the table is fixed at build time). *)
 
 val universe_estimate : unit -> int
 (** Upper bound on the number of distinct non-edge blocks the model can

@@ -143,7 +143,7 @@ let run_single_node ~app ~kind ~contended ?(config = default_config)
                   else
                     match kind with
                     | Env.Kvm _ -> 1.005 +. Prng.float rng 0.01
-                    | Env.Native | Env.Docker -> 1.01 +. Prng.float rng 0.03
+                    | Env.Native | Env.Multikernel | Env.Docker -> 1.01 +. Prng.float rng 0.03
                 in
                 Service.handle compiled ~env ~rank ~rng ~hw_dilation ();
                 let latency = Engine.now engine -. arrival in

@@ -60,7 +60,7 @@ let handle t ~env ~rank ~rng ?(hw_dilation = 1.0) () =
   let penalty =
     match Env.kind env with
     | Env.Kvm _ -> app.Apps.virt_cpu_penalty
-    | Env.Native | Env.Docker -> 1.0
+    | Env.Native | Env.Multikernel | Env.Docker -> 1.0
   in
   let cpu = Dist.sample app.Apps.service_cpu rng *. penalty *. hw_dilation in
   let issue spec size_override =

@@ -25,6 +25,7 @@ type result = {
   dropped_ranks : int list;
   transient_retries : int;
   abandoned_calls : int;
+  denied_calls : int;
 }
 
 let total_invocations r =
@@ -84,6 +85,7 @@ let run ~env ~corpus ?(params = default_params) ?straggler_timeout_ns () =
   let dropped_count = ref 0 in
   let retries = ref 0 in
   let abandoned = ref 0 in
+  let denied = ref 0 in
   let drop rank fault =
     if alive.(rank) then begin
       alive.(rank) <- false;
@@ -107,6 +109,11 @@ let run ~env ~corpus ?(params = default_params) ?straggler_timeout_ns () =
     let rec go attempt =
       match Env.try_syscall env ~rank c.Program.spec c.Program.arg with
       | Env.Completed _ -> true
+      | Env.Denied _ ->
+          (* ENOSYS from a specialization policy: permanent, so no retry
+             and no sample — the call never did its work. *)
+          incr denied;
+          false
       | Env.Faulted _ ->
           incr retries;
           if attempt >= max_retries then begin
@@ -203,4 +210,5 @@ let run ~env ~corpus ?(params = default_params) ?straggler_timeout_ns () =
     dropped_ranks = List.rev !dropped;
     transient_retries = !retries;
     abandoned_calls = !abandoned;
+    denied_calls = !denied;
   }

@@ -33,6 +33,9 @@ type result = {
   dropped_ranks : int list;  (** in drop order *)
   transient_retries : int;  (** injected EAGAIN/EINTR faults retried *)
   abandoned_calls : int;  (** calls given up on after max retries *)
+  denied_calls : int;
+      (** calls rejected with ENOSYS by an [Enforce]-mode specialization
+          policy (kspec); permanent, never retried, never sampled *)
 }
 
 val total_invocations : result -> int

@@ -3,21 +3,17 @@ module Env = Ksurf_env.Env
 module Program = Ksurf_syzgen.Program
 module Corpus = Ksurf_syzgen.Corpus
 
-(* Process-global total, kept only for the deprecated [syscalls_issued]
-   shim; all real accounting is per-handle. *)
-let global_issued = ref 0
-
-let syscalls_issued () = !global_issued
-
 type handle = {
   mutable issued : int;
   mutable transient_failures : int;
   mutable abandoned : int;
+  mutable denied : int;
 }
 
 let issued h = h.issued
 let transient_failures h = h.transient_failures
 let abandoned h = h.abandoned
+let denied h = h.denied
 
 type stream_stats = { calls : int; mean_ns : float; p99_ns : float }
 
@@ -33,8 +29,11 @@ let issue_with_retry h ~env ~rank (c : Program.call) =
     match Env.try_syscall env ~rank c.Program.spec c.Program.arg with
     | Env.Completed _ ->
         h.issued <- h.issued + 1;
-        incr global_issued;
         true
+    | Env.Denied _ ->
+        (* ENOSYS from a specialization policy: permanent, never retried. *)
+        h.denied <- h.denied + 1;
+        false
     | Env.Faulted _ ->
         h.transient_failures <- h.transient_failures + 1;
         if attempt >= max_retries then begin
@@ -53,7 +52,7 @@ let issue_with_retry h ~env ~rank (c : Program.call) =
 let start_general ~env ~corpus ~ranks ~think_time ~observe =
   let engine = Env.engine env in
   let programs = Corpus.programs corpus in
-  let h = { issued = 0; transient_failures = 0; abandoned = 0 } in
+  let h = { issued = 0; transient_failures = 0; abandoned = 0; denied = 0 } in
   List.iter
     (fun rank ->
       if rank < 0 || rank >= Env.rank_count env then

@@ -25,6 +25,10 @@ val abandoned : handle -> int
 (** Calls given up on after exhausting retries (only under extreme
     injected fault rates). *)
 
+val denied : handle -> int
+(** Calls rejected with ENOSYS by an [Enforce]-mode specialization
+    policy (kspec).  Permanent failures — never retried. *)
+
 val start :
   env:Ksurf_env.Env.t ->
   corpus:Ksurf_syzgen.Corpus.t ->
@@ -36,12 +40,6 @@ val start :
     [think_time] (ns, default 0) is an idle gap between programs, for
     intensity control.  Run the engine with [~until] or [~stop] to bound
     the simulation. *)
-
-val syscalls_issued : unit -> int
-(** @deprecated Process-global total across every stream ever started
-    in this process; monotone across runs, so useless for per-run
-    accounting.  Use {!issued} on the {!handle} instead.  Kept as a
-    transition shim. *)
 
 type stream_stats = {
   calls : int;

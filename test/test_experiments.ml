@@ -201,3 +201,65 @@ let test_locks_experiment () =
 
 let suite =
   suite @ [ Alcotest.test_case "locks experiment" `Slow test_locks_experiment ]
+
+(* --- specialization study (kspec) ------------------------------------- *)
+
+let specialize = lazy (E.Specialize.run ~scale:E.Quick ())
+
+let test_specialize_structure () =
+  let t = Lazy.force specialize in
+  Alcotest.(check (list string)) "arm names"
+    [ "native-64"; "native-64-kspec"; "kvm-64" ]
+    (List.map (fun (r : E.Specialize.row) -> r.E.Specialize.env) t.E.Specialize.rows);
+  Alcotest.(check bool) "spec retains file-io" true
+    (List.mem Category.File_io t.E.Specialize.spec.Kspec.retained);
+  Alcotest.(check bool) "renders" true
+    (String.length (Format.asprintf "%a" E.Specialize.pp t) > 0)
+
+let test_specialize_recovers_variability () =
+  (* The acceptance inequality: at the fixed default seed, per-tenant
+     specialized kernels strictly beat the shared native kernel on the
+     tail ratio, on absolute p99, and on both bucket rows. *)
+  let t = Lazy.force specialize in
+  let native = Option.get (E.Specialize.row t ~env:"native-64") in
+  let spec = Option.get (E.Specialize.row t ~env:"native-64-kspec") in
+  Alcotest.(check bool) "strictly lower tail ratio" true
+    (spec.E.Specialize.tail_ratio < native.E.Specialize.tail_ratio);
+  Alcotest.(check bool) "strictly lower p99" true
+    (spec.E.Specialize.p99 < native.E.Specialize.p99);
+  let bucket_leq (a : Buckets.row) (b : Buckets.row) =
+    (* cumulative fractions: higher is better (more samples under each
+       threshold); [a] at least as good everywhere, better somewhere *)
+    let cells (r : Buckets.row) =
+      [ r.Buckets.le_1us; r.Buckets.le_10us; r.Buckets.le_100us;
+        r.Buckets.le_1ms; r.Buckets.le_10ms ]
+    in
+    List.for_all2 (fun x y -> x >= y) (cells a) (cells b)
+    && List.exists2 (fun x y -> x > y) (cells a) (cells b)
+  in
+  Alcotest.(check bool) "p99 buckets strictly better" true
+    (bucket_leq spec.E.Specialize.p99_bucket native.E.Specialize.p99_bucket);
+  Alcotest.(check bool) "max buckets strictly better" true
+    (bucket_leq spec.E.Specialize.max_bucket native.E.Specialize.max_bucket)
+
+let test_specialize_surface_and_denials () =
+  let t = Lazy.force specialize in
+  let native = Option.get (E.Specialize.row t ~env:"native-64") in
+  let spec = Option.get (E.Specialize.row t ~env:"native-64-kspec") in
+  Alcotest.(check bool) "surface area collapses" true
+    (spec.E.Specialize.surface_area < 0.1 *. native.E.Specialize.surface_area);
+  List.iter
+    (fun (r : E.Specialize.row) ->
+      Alcotest.(check int)
+        (r.E.Specialize.env ^ " denials") 0 r.E.Specialize.denials)
+    t.E.Specialize.rows
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "specialize structure" `Slow test_specialize_structure;
+      Alcotest.test_case "specialize recovers variability" `Slow
+        test_specialize_recovers_variability;
+      Alcotest.test_case "specialize surface and denials" `Slow
+        test_specialize_surface_and_denials;
+    ]

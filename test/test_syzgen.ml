@@ -337,3 +337,49 @@ let suite =
       Alcotest.test_case "paper-scale deterministic" `Quick
         test_paper_scale_deterministic;
     ]
+
+(* --- serialisation and ordering properties ---------------------------- *)
+
+(* Satellite of the kspec PR: Profile serialisation leans on corpus
+   round-trips and on Coverage.Set's stable iteration order, so both
+   are pinned here as properties over seeded corpora. *)
+
+let seeded_corpus seed =
+  (Generator.run ~params:{ quick_params with Generator.seed } ()).Generator.corpus
+
+let test_corpus_roundtrip_property () =
+  List.iter
+    (fun seed ->
+      let c = seeded_corpus seed in
+      match Corpus.of_string (Corpus.to_string c) with
+      | Error e -> Alcotest.failf "seed %d: parse failed: %s" seed e
+      | Ok c' ->
+          Alcotest.(check int) "program count" (Corpus.program_count c)
+            (Corpus.program_count c');
+          Alcotest.(check int) "coverage cardinal"
+            (Coverage.Set.cardinal (Corpus.coverage c))
+            (Coverage.Set.cardinal (Corpus.coverage c'));
+          Alcotest.(check bool) "category histogram" true
+            (Corpus.category_histogram c = Corpus.category_histogram c'))
+    [ 1; 2; 3; 5; 8; 13; 21; 42 ]
+
+let test_coverage_order_stable () =
+  let c = seeded_corpus 42 in
+  let cov = Corpus.coverage c in
+  let l = Coverage.Set.to_list cov in
+  Alcotest.(check bool) "to_list sorted ascending" true
+    (l = List.sort_uniq compare l);
+  let folded = List.rev (Coverage.Set.fold (fun b acc -> b :: acc) cov []) in
+  Alcotest.(check (list int)) "fold agrees with to_list" l folded;
+  Alcotest.(check int) "of_list round-trips"
+    (Coverage.Set.cardinal cov)
+    (Coverage.Set.cardinal (Coverage.Set.of_list (List.rev l)))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "corpus roundtrip property" `Quick
+        test_corpus_roundtrip_property;
+      Alcotest.test_case "coverage iteration order stable" `Quick
+        test_coverage_order_stable;
+    ]

@@ -123,13 +123,17 @@ let test_statistic_names () =
 let test_noise_issues_calls () =
   let engine, env = tiny_env ~units:4 () in
   let corpus = Lazy.force tiny_corpus in
-  let before = Noise.syscalls_issued () in
   let h = Noise.start ~env ~corpus ~ranks:[ 0; 1; 2 ] () in
   Engine.run ~until:1e6 engine;
   Alcotest.(check bool) "noise ran" true (Noise.issued h > 0);
-  (* Deprecated global shim still ticks along with the stream. *)
-  Alcotest.(check int) "global shim tracks stream" (before + Noise.issued h)
-    (Noise.syscalls_issued ())
+  (* Accounting is purely per-handle: a second stream starts from zero
+     regardless of what earlier streams issued. *)
+  let engine2, env2 = tiny_env ~units:4 () in
+  let h2 = Noise.start ~env:env2 ~corpus ~ranks:[ 0 ] () in
+  Alcotest.(check int) "fresh handle starts at zero" 0 (Noise.issued h2);
+  Engine.run ~until:1e5 engine2;
+  Alcotest.(check bool) "independent of first stream" true
+    (Noise.issued h2 < Noise.issued h)
 
 let test_noise_rank_validation () =
   let _, env = tiny_env () in
