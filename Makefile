@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test analyze-smoke inject-smoke specialize-smoke check clean
+.PHONY: all build test analyze-smoke inject-smoke specialize-smoke soak check clean
 
 all: build
 
@@ -29,7 +29,14 @@ inject-smoke:
 specialize-smoke:
 	dune exec bin/ksurf_cli.exe -- specialize --seed 42 --smoke
 
-check: build test analyze-smoke inject-smoke specialize-smoke
+# Chaos soak: supervised BSP under the "crashy" plan plus random
+# crashes with each recovery policy (all supersteps must complete),
+# then a kill-and-resume round trip from a mid-run checkpoint that
+# must replay bit-identically; exits nonzero on any divergence.
+soak:
+	dune exec bin/ksurf_cli.exe -- recover --seed 42 --soak
+
+check: build test analyze-smoke inject-smoke specialize-smoke soak
 
 clean:
 	dune clean

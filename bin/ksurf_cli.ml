@@ -35,6 +35,31 @@ let timed name f =
   Logs.info (fun m -> m "%s finished in %.1fs" name (Unix.gettimeofday () -. t0));
   result
 
+(* --- resumable sweeps ------------------------------------------------- *)
+
+let journal_arg =
+  let doc =
+    "Journal completed sweep cells into $(docv) (atomic writes) so an \
+     interrupted run can be picked up with $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Skip cells already recorded in the $(b,--journal) file instead of \
+     starting the sweep over."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+(* Without --resume a pre-existing journal is discarded: the sweep is a
+   fresh run that happens to be journalled. *)
+let journal_of path resume =
+  match path with
+  | None -> None
+  | Some p ->
+      if (not resume) && Sys.file_exists p then Sys.remove p;
+      Some (Ksurf.Recov_journal.load ~path:p)
+
 (* --- corpus ---------------------------------------------------------- *)
 
 let gen_corpus seed scale calls output () =
@@ -209,8 +234,10 @@ let analyze_cmd =
              $(b,faulted-varbench), $(b,faulted-tailbench) (the same \
              workloads under an armed kfault plan), \
              $(b,specialized-varbench) (kspec-pruned multikernel deployment \
-             with the Enforce allowlist installed), or $(b,inversion) (a \
-             deliberate lock-order inversion that self-tests the analyzer).")
+             with the Enforce allowlist installed), $(b,recovered-bsp) (the \
+             supervised BSP synthesis failing over under the crashy plan), \
+             or $(b,inversion) (a deliberate lock-order inversion that \
+             self-tests the analyzer).")
   in
   let checks =
     Arg.(
@@ -402,7 +429,7 @@ let inject_cmd =
    lockdep + invariants attached to the first run; a policy denial (the
    allowlist matches the corpus, so any denial is a wiring bug), a
    replay divergence or any sanitizer finding exits nonzero. *)
-let specialize seed scale smoke export_dir () =
+let specialize seed scale smoke export_dir journal_path resume () =
   let module A = Ksurf.Analysis in
   if smoke then begin
     let corpus =
@@ -495,7 +522,10 @@ let specialize seed scale smoke export_dir () =
       "  no findings: specialized run is deterministic, clean, zero denials@."
   end
   else begin
-    let t = timed "specialize" (fun () -> E.Specialize.run ~seed ~scale ()) in
+    let journal = journal_of journal_path resume in
+    let t =
+      timed "specialize" (fun () -> E.Specialize.run ~seed ~scale ?journal ())
+    in
     Format.printf "%a@." E.Specialize.pp t;
     match export_dir with
     | None -> ()
@@ -527,7 +557,8 @@ let specialize_cmd =
          "kspec study: per-tenant specialized kernels (multikernel) vs shared native vs kvm-64 \
           on the same fs-restricted workload")
     Term.(
-      const specialize $ seed_arg $ scale_arg $ smoke $ export_dir $ logs_term)
+      const specialize $ seed_arg $ scale_arg $ smoke $ export_dir
+      $ journal_arg $ resume_arg $ logs_term)
 
 (* --- experiments ------------------------------------------------------ *)
 
@@ -587,9 +618,165 @@ let locks_cmd =
       Format.printf "%a@." E.Locks.pp (E.Locks.run ~seed ~scale ()))
 
 let dose_cmd =
-  experiment_cmd "dose" ~doc:"Dose-response: fault-intensity sensitivity sweep"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Dose.pp (E.Dose.run ~seed ~scale ()))
+  let go seed scale journal_path resume () =
+    let journal = journal_of journal_path resume in
+    timed "dose" (fun () ->
+        Format.printf "%a@." E.Dose.pp (E.Dose.run ~seed ~scale ?journal ()))
+  in
+  Cmd.v
+    (Cmd.info "dose" ~doc:"Dose-response: fault-intensity sensitivity sweep")
+    Term.(
+      const go $ seed_arg $ scale_arg $ journal_arg $ resume_arg $ logs_term)
+
+(* --- recover ----------------------------------------------------------- *)
+
+(* krecov driver.  Default form runs the recovery study (crash rate x
+   policy on the supervised 64-node BSP synthesis).  [--soak] is the
+   chaos gate for `make check`/CI: every policy must survive the
+   "crashy" preset plus random crashes without wedging, and a run
+   killed mid-sweep must resume from its checkpoint bit-identically. *)
+let recover seed scale soak export_dir journal_path resume () =
+  let module S = Ksurf.Supervisor in
+  if soak then begin
+    let corpus =
+      (Ksurf.Generator.run
+         ~params:
+           {
+             Ksurf.Generator.default_params with
+             Ksurf.Generator.seed;
+             target_programs = 4;
+           }
+         ())
+        .Ksurf.Generator.corpus
+    in
+    let cconfig =
+      {
+        Ksurf.Cluster.default_config with
+        Ksurf.Cluster.nodes_simulated = 1;
+        sim_iterations_per_node = 8;
+        warmup_iterations = 1;
+        requests_per_iteration = 8;
+        seed;
+      }
+    in
+    let app =
+      match Ksurf.Apps.by_name "silo" with
+      | Some a -> a
+      | None -> List.hd Ksurf.Apps.all
+    in
+    let kind = Ksurf.Env.Kvm Ksurf.Virt_config.default in
+    let pool =
+      Ksurf.Cluster.pool ~app ~kind ~contended:false ~config:cconfig
+        ~noise_corpus:corpus ()
+    in
+    let plan =
+      match Ksurf.Fault_plan.preset "crashy" with
+      | Some p -> p
+      | None -> assert false
+    in
+    let base =
+      {
+        S.default_config with
+        S.nodes = cconfig.Ksurf.Cluster.nodes_total;
+        iterations = 10;
+        barrier_cost_ns =
+          Ksurf.Cluster.barrier_cost_for ~kind
+            ~nodes_total:cconfig.Ksurf.Cluster.nodes_total;
+        crash_rate = 0.02;
+        seed;
+      }
+    in
+    Format.printf "recover soak seed=%d: crashy preset + 2%% random crashes@."
+      seed;
+    let failed = ref false in
+    List.iter
+      (fun policy ->
+        let o =
+          timed (S.policy_name policy) (fun () ->
+              S.run ~pool ~plan ~config:{ base with S.policy } ())
+        in
+        let ok = o.S.supersteps = base.S.iterations in
+        if not ok then failed := true;
+        Format.printf
+          "  %-11s %d/%d supersteps, %.3fs, %d crashes, %d restarts, %d \
+           backups, %d deaths, %d transitions — %s@."
+          o.S.policy o.S.supersteps base.S.iterations (o.S.runtime_ns /. 1e9)
+          o.S.crashes o.S.restarts o.S.backups o.S.deaths o.S.transitions
+          (if ok then "ok" else "WEDGED"))
+      [ S.Survivors; S.Readmit; S.Speculative ];
+    (* Kill-and-resume round-trip: a run killed after 3 supersteps and
+       resumed from its checkpoint must finish bit-identically to the
+       uninterrupted run. *)
+    let ckpt = Filename.temp_file "ksurf-soak" ".ckpt" in
+    Sys.remove ckpt;
+    let config =
+      {
+        base with
+        S.policy = S.Readmit;
+        checkpoint_interval = 2;
+        checkpoint_path = Some ckpt;
+      }
+    in
+    let full = S.run ~pool ~plan ~config () in
+    Sys.remove ckpt;
+    ignore (S.run ~pool ~plan ~config ~kill_after:3 ());
+    let resumed = S.run ~pool ~plan ~config ~resume_from:ckpt () in
+    if Sys.file_exists ckpt then Sys.remove ckpt;
+    let identical =
+      full.S.runtime_ns = resumed.S.runtime_ns
+      && full.S.crashes = resumed.S.crashes
+      && full.S.restarts = resumed.S.restarts
+      && full.S.transitions = resumed.S.transitions
+      && full.S.supersteps = resumed.S.supersteps
+    in
+    if not identical then failed := true;
+    Format.printf
+      "  kill-and-resume: %.0f vs %.0f ns, %d vs %d transitions (resumed \
+       from superstep %d) — %s@."
+      full.S.runtime_ns resumed.S.runtime_ns full.S.transitions
+      resumed.S.transitions resumed.S.resumed_from
+      (if identical then "identical" else "DIVERGENT");
+    if !failed then exit 1;
+    Format.printf "  soak clean: every policy completed, resume is exact@."
+  end
+  else begin
+    let journal = journal_of journal_path resume in
+    let t = timed "recover" (fun () -> E.Recover.run ~seed ~scale ?journal ()) in
+    Format.printf "%a@." E.Recover.pp t;
+    match export_dir with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun p -> Format.printf "wrote %s@." p)
+          (Ksurf.Export.recover ~dir t)
+  end
+
+let recover_cmd =
+  let soak =
+    Arg.(
+      value & flag
+      & info [ "soak" ]
+          ~doc:
+            "Chaos gate: run every recovery policy under the crashy preset \
+             plus random crashes, then verify a killed run resumes from its \
+             checkpoint bit-identically; exit nonzero on any wedge or \
+             divergence.")
+  in
+  let export_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:"Write recover.csv into $(docv) (study mode only).")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "krecov study: crash rate x recovery policy on the supervised \
+          64-node BSP synthesis")
+    Term.(
+      const recover $ seed_arg $ scale_arg $ soak $ export_dir $ journal_arg
+      $ resume_arg $ logs_term)
 
 let all_cmd =
   experiment_cmd "all" ~doc:"Run every experiment in sequence"
@@ -619,6 +806,7 @@ let main_cmd =
       inject_cmd;
       specialize_cmd;
       dose_cmd;
+      recover_cmd;
       table1_cmd;
       table2_cmd;
       fig2_cmd;
@@ -632,4 +820,15 @@ let main_cmd =
       all_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* I/O failures (full disk, bad permissions, unwritable directory) get
+   their own exit code so scripts can tell "the experiment found
+   something" (1) and "you asked for something impossible" (2) apart
+   from "the machine failed underneath us" (3). *)
+let () =
+  try exit (Cmd.eval ~catch:false main_cmd) with
+  | Ksurf.Fileio.Io_error msg ->
+      Format.eprintf "ksurf: I/O failure: %s@." msg;
+      exit 3
+  | Ksurf.Engine.Hung diag ->
+      Format.eprintf "ksurf: %s@." diag;
+      exit 1

@@ -74,6 +74,15 @@ let describe (info : Engine.event_info) =
           Printf.sprintf "t=%g pid=%d deny %s(enforced=%b)" now pid syscall
             enforced;
       }
+  | Engine.Rank_transition { now; pid; rank; from_state; to_state; incident } ->
+      {
+        key =
+          Printf.sprintf "R:%Lx:%d:%d:%s:%s:%d" (bits now) pid rank from_state
+            to_state incident;
+        display =
+          Printf.sprintf "t=%g pid=%d rank %d %s->%s (incident %d)" now pid
+            rank from_state to_state incident;
+      }
 
 type divergence = {
   index : int;  (** position in the event stream, 0-based *)

@@ -16,6 +16,9 @@ type t = {
   tokens : (int, bool) Hashtbl.t;  (** suspension token -> woken? *)
   barriers : (string, int) Hashtbl.t;  (** barrier -> last generation *)
   locks : (string, lock_counts) Hashtbl.t;
+  ranks : (int, string) Hashtbl.t;  (** rank -> last reported state *)
+  rank_edges : (int * int * string, int) Hashtbl.t;
+      (** (rank, incident, edge) -> occurrences *)
   mutable last_exec_time : float;
   mutable events : int;
 }
@@ -26,6 +29,8 @@ let create () =
     tokens = Hashtbl.create 64;
     barriers = Hashtbl.create 8;
     locks = Hashtbl.create 64;
+    ranks = Hashtbl.create 8;
+    rank_edges = Hashtbl.create 16;
     last_exec_time = neg_infinity;
     events = 0;
   }
@@ -111,6 +116,43 @@ let on_event t (info : Engine.event_info) =
               (Printf.sprintf "barrier %s: left with %d parties at t=%g" name
                  parties now))
   | Engine.Injected _ | Engine.Denied _ -> ()
+  | Engine.Rank_transition { now; rank; from_state; to_state; incident; _ } ->
+      (* Failure-detector protocol (krecov): transitions must follow the
+         alive -> suspect -> {alive, dead} -> alive state machine, each
+         event's [from_state] must agree with the rank's last reported
+         state, and within one incident no edge may repeat — one
+         suspicion, at most one death, at most one rejoin. *)
+      let valid =
+        match (from_state, to_state) with
+        | "alive", "suspect"
+        | "suspect", "alive"
+        | "suspect", "dead"
+        | "dead", "alive" ->
+            true
+        | _ -> false
+      in
+      if not valid then
+        add t ~severity:Finding.Error ~code:"rank-transition-invalid"
+          (Printf.sprintf "rank %d: illegal transition %s->%s at t=%g" rank
+             from_state to_state now);
+      (match Hashtbl.find_opt t.ranks rank with
+      | Some last when last <> from_state ->
+          add t ~severity:Finding.Error ~code:"rank-transition-discontinuous"
+            (Printf.sprintf
+               "rank %d: transition claims from %s but last state was %s at \
+                t=%g"
+               rank from_state last now)
+      | Some _ | None -> ());
+      Hashtbl.replace t.ranks rank to_state;
+      let edge = Printf.sprintf "%s->%s" from_state to_state in
+      let key = (rank, incident, edge) in
+      let seen = Option.value ~default:0 (Hashtbl.find_opt t.rank_edges key) in
+      if seen > 0 then
+        add t ~severity:Finding.Error ~code:"rank-transition-repeated"
+          (Printf.sprintf
+             "rank %d incident %d: transition %s reported %d times at t=%g"
+             rank incident edge (seen + 1) now);
+      Hashtbl.replace t.rank_edges key (seen + 1)
 
 (* [drained] as in {!Lockdep.finish}: stuck-process checks only make
    sense when the engine genuinely ran out of events. *)

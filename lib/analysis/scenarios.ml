@@ -24,6 +24,7 @@ type t =
   | Faulted_varbench
   | Faulted_tailbench
   | Specialized_varbench
+  | Recovered_bsp
 
 let all =
   [
@@ -34,6 +35,7 @@ let all =
     Faulted_varbench;
     Faulted_tailbench;
     Specialized_varbench;
+    Recovered_bsp;
   ]
 
 let to_string = function
@@ -44,6 +46,7 @@ let to_string = function
   | Faulted_varbench -> "faulted-varbench"
   | Faulted_tailbench -> "faulted-tailbench"
   | Specialized_varbench -> "specialized-varbench"
+  | Recovered_bsp -> "recovered-bsp"
 
 let of_string = function
   | "varbench" -> Some Varbench
@@ -53,6 +56,7 @@ let of_string = function
   | "faulted-varbench" -> Some Faulted_varbench
   | "faulted-tailbench" -> Some Faulted_tailbench
   | "specialized-varbench" -> Some Specialized_varbench
+  | "recovered-bsp" -> Some Recovered_bsp
   | _ -> None
 
 (* Scenarios the sanitizers must pass on; [Inversion] is the negative
@@ -67,6 +71,7 @@ let stock =
     Faulted_varbench;
     Faulted_tailbench;
     Specialized_varbench;
+    Recovered_bsp;
   ]
 
 let small_corpus ~seed =
@@ -225,6 +230,40 @@ let run_specialized_varbench ~seed ~on_engine =
        ~params:{ Harness.iterations = 4; warmup_iterations = 1 }
        ())
 
+(* Recovered variant: the BSP synthesis under elastic supervision with
+   the crashy plan plus random crashes, Readmit policy.  Every
+   superstep engine carries heartbeats, detector verdicts and recovery
+   actions; the invariant analyzer's rank-transition checks then assert
+   the failover choreography itself — legal detector edges only, no
+   discontinuous states, and each Suspect -> Dead -> rejoin edge at
+   most once per incident. *)
+let run_recovered_bsp ~seed ~on_engine =
+  let module Supervisor = Ksurf_recov.Supervisor in
+  let config =
+    {
+      Cluster.default_config with
+      Cluster.nodes_simulated = 1;
+      iterations = 8;
+      sim_iterations_per_node = 6;
+      warmup_iterations = 1;
+      requests_per_iteration = 10;
+      units = 2;
+      unit_cores = 4;
+      unit_mem_mb = 2048;
+      seed;
+    }
+  in
+  let recovery =
+    {
+      Supervisor.default_config with
+      Supervisor.policy = Supervisor.Readmit;
+      crash_rate = 0.01;
+    }
+  in
+  ignore
+    (Cluster.run ~app:(app ()) ~kind:Env.Native ~contended:false ~config
+       ~on_engine ~recovery ~plan:(fault_plan ()) ())
+
 let run t ~seed ~on_engine =
   match t with
   | Varbench -> run_varbench ~seed ~on_engine
@@ -234,3 +273,4 @@ let run t ~seed ~on_engine =
   | Faulted_varbench -> run_faulted_varbench ~seed ~on_engine
   | Faulted_tailbench -> run_faulted_tailbench ~seed ~on_engine
   | Specialized_varbench -> run_specialized_varbench ~seed ~on_engine
+  | Recovered_bsp -> run_recovered_bsp ~seed ~on_engine

@@ -7,7 +7,11 @@
     lockdep-clean — plus a [Specialized_varbench] variant running an
     fs-restricted corpus under a kspec-pruned kernel with the Enforce
     allowlist installed (daemon gating and the per-call policy check
-    under the sanitizers). *)
+    under the sanitizers), plus a [Recovered_bsp] variant running the
+    supervised BSP synthesis under the crashy plan with the Readmit
+    policy — the invariant analyzer's rank-transition checks assert the
+    failover choreography (legal detector edges only, each
+    Suspect -> Dead -> rejoin at most once per incident). *)
 
 type t =
   | Varbench
@@ -17,6 +21,7 @@ type t =
   | Faulted_varbench
   | Faulted_tailbench
   | Specialized_varbench
+  | Recovered_bsp
 
 val all : t list
 

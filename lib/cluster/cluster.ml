@@ -8,6 +8,7 @@ module Quantile = Ksurf_stats.Quantile
 module Noise = Ksurf_varbench.Noise
 module Apps = Ksurf_tailbench.Apps
 module Service = Ksurf_tailbench.Service
+module Supervisor = Ksurf_recov.Supervisor
 
 type config = {
   nodes_total : int;
@@ -49,13 +50,27 @@ type result = {
   node_p99_iter_ns : float;
   straggler_factor : float;
   iteration_samples : int;
+  policy : string;
+  degraded : bool;
+  survivors : int;
+  crashes : int;
+  restarts : int;
+  backups : int;
+  samples_dropped : int;
+}
+
+type node_outcome = {
+  durations : float array;
+  node_crashes : int;
+  node_restarts : int;
+  node_dropped : int;  (* iteration samples discarded after permanent loss *)
 }
 
 (* Fully simulate one node: the app in unit 0, noise in units 1-3 when
    contended, iteration = a fixed burst of requests followed by a local
    quiescent point.  Returns per-iteration durations (warm-up dropped). *)
 let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed
-    ~on_engine =
+    ~on_engine ~on_env =
   let compiled = Service.compile app in
   let engine = Engine.create ~seed:node_seed () in
   (* Observer hook: lets sanitizers attach probes before anything runs. *)
@@ -66,6 +81,8 @@ let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed
       ~total_mem_mb:(config.units * config.unit_mem_mb)
   in
   let env = Env.deploy ~engine ~machine:config.machine kind partition in
+  (* Deployment hook: lets callers arm a fault plan on the fresh env. *)
+  on_env env;
   let workers = List.init config.unit_cores (fun i -> i) in
   if contended then begin
     let noise_ranks =
@@ -82,34 +99,73 @@ let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed
   let mailbox = Mailbox.create ~engine ~name:(app.Apps.name ^ ".reqs") in
   let completed_in_iter = ref 0 in
   let iteration_waiter : (unit -> unit) option ref = ref None in
+  (* Robustness accounting (krecov): a fault plan armed via [on_env]
+     may crash a worker rank.  A crashed worker requeues its in-flight
+     request and either restarts after the plan's downtime or exits for
+     good; a permanent loss marks the node so iteration samples gathered
+     after the crash — timed with fewer serving cores — are dropped
+     rather than silently distorting the BSP pool. *)
+  let live = ref (List.length workers) in
+  let crashes = ref 0 in
+  let restarts = ref 0 in
+  let lost_for_good = ref false in
   List.iter
     (fun rank ->
       let rng =
         Prng.split (Engine.rng engine) (Printf.sprintf "worker-%d" rank)
       in
       Engine.spawn engine (fun () ->
+          let crash_at = Env.crash_time_of_rank env ~rank in
+          let restart_delay = Env.restart_delay_of_rank env ~rank in
+          let crash_handled = ref false in
           let rec serve () =
-            let _arrival : float = Mailbox.recv mailbox in
-            let hw_dilation =
-              if not contended then 1.0
-              else
-                match kind with
-                | Env.Kvm _ -> 1.005 +. Prng.float rng 0.01
-                | Env.Native | Env.Multikernel | Env.Docker -> 1.01 +. Prng.float rng 0.03
-            in
-            Service.handle compiled ~env ~rank ~rng ~hw_dilation ();
-            incr completed_in_iter;
-            (if !completed_in_iter >= config.requests_per_iteration then
-               match !iteration_waiter with
-               | Some wake ->
-                   iteration_waiter := None;
-                   wake ()
-               | None -> ());
-            serve ()
+            let arrival = Mailbox.recv mailbox in
+            match crash_at with
+            | Some at when (not !crash_handled) && Engine.now engine >= at -> (
+                crash_handled := true;
+                incr crashes;
+                if Engine.observed engine then
+                  Engine.emit engine
+                    (Engine.Injected
+                       {
+                         now = Engine.now engine;
+                         pid = Engine.current_pid engine;
+                         fault = "rank-crash";
+                         magnitude = float_of_int rank;
+                       });
+                (* The in-flight request survives the crash: back to the
+                   queue for whoever is still serving. *)
+                Mailbox.send mailbox arrival;
+                match restart_delay with
+                | Some downtime ->
+                    Engine.delay downtime;
+                    incr restarts;
+                    serve ()
+                | None ->
+                    decr live;
+                    lost_for_good := true)
+            | _ ->
+                let hw_dilation =
+                  if not contended then 1.0
+                  else
+                    match kind with
+                    | Env.Kvm _ -> 1.005 +. Prng.float rng 0.01
+                    | Env.Native | Env.Multikernel | Env.Docker -> 1.01 +. Prng.float rng 0.03
+                in
+                Service.handle compiled ~env ~rank ~rng ~hw_dilation ();
+                incr completed_in_iter;
+                (if !completed_in_iter >= config.requests_per_iteration then
+                   match !iteration_waiter with
+                   | Some wake ->
+                       iteration_waiter := None;
+                       wake ()
+                   | None -> ());
+                serve ()
           in
           serve ()))
     workers;
   let durations = ref [] in
+  let dropped = ref 0 in
   let total_iters = config.warmup_iterations + config.sim_iterations_per_node in
   let finished = ref false in
   let client_rng = Prng.split (Engine.rng engine) "client" in
@@ -122,43 +178,84 @@ let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed
           Engine.delay gap;
           Mailbox.send mailbox (Engine.now engine)
         done;
-        (* Wait until the whole burst has been served. *)
-        if !completed_in_iter < config.requests_per_iteration then
+        (* Wait until the whole burst has been served.  With every
+           worker permanently crashed there is no one left to wake us:
+           give up on the remaining iterations instead of parking
+           forever. *)
+        if !completed_in_iter < config.requests_per_iteration && !live > 0 then
           Engine.suspend (fun wake -> iteration_waiter := Some wake);
         if iter >= config.warmup_iterations then
-          durations := (Engine.now engine -. start) :: !durations
+          if !lost_for_good then incr dropped
+          else durations := (Engine.now engine -. start) :: !durations
       done;
       finished := true);
-  Engine.run ~stop:(fun () -> !finished) engine;
-  Array.of_list (List.rev !durations)
+  Engine.run ~stop:(fun () -> !finished || (!live = 0 && !lost_for_good)) engine;
+  {
+    durations = Array.of_list (List.rev !durations);
+    node_crashes = !crashes;
+    node_restarts = !restarts;
+    node_dropped = !dropped;
+  }
+
+let simulate_nodes ~app ~kind ~contended ~config ~noise_corpus ~on_engine
+    ~on_env =
+  List.init config.nodes_simulated (fun node ->
+      simulate_node ~app ~kind ~contended ~config ~noise_corpus
+        ~node_seed:(config.seed + (node * 7919))
+        ~on_engine ~on_env)
+
+let default_noise_corpus ~contended noise_corpus =
+  match noise_corpus with
+  | Some c -> c
+  | None ->
+      if contended then
+        (Ksurf_syzgen.Generator.run ()).Ksurf_syzgen.Generator.corpus
+      else
+        (* Unused, but keep the type simple: a minimal corpus. *)
+        (Ksurf_syzgen.Generator.run
+           ~params:
+             {
+               Ksurf_syzgen.Generator.default_params with
+               Ksurf_syzgen.Generator.target_programs = 1;
+             }
+           ())
+          .Ksurf_syzgen.Generator.corpus
+
+let barrier_cost_for ~kind ~nodes_total =
+  let per_party =
+    match kind with
+    | Env.Kvm virt -> 1_500.0 +. virt.Ksurf_virt.Virt_config.virtio_net_per_msg
+    | Env.Native | Env.Multikernel | Env.Docker -> 1_800.0
+  in
+  per_party
+  *. Float.ceil (Float.log (float_of_int nodes_total) /. Float.log 2.0)
+
+(* The empirical iteration pool alone — for callers (the recovery study)
+   that sweep many supervised syntheses over one set of simulated
+   nodes. *)
+let pool ~app ~kind ~contended ?(config = default_config) ?noise_corpus
+    ?(on_engine = fun (_ : Engine.t) -> ())
+    ?(on_env = fun (_ : Env.t) -> ()) () =
+  if config.nodes_simulated < 1 then invalid_arg "Cluster.pool: need >= 1 node";
+  let noise_corpus = default_noise_corpus ~contended noise_corpus in
+  let nodes =
+    simulate_nodes ~app ~kind ~contended ~config ~noise_corpus ~on_engine
+      ~on_env
+  in
+  Array.concat (List.map (fun n -> n.durations) nodes)
 
 let run ~app ~kind ~contended ?(config = default_config) ?noise_corpus
-    ?(on_engine = fun (_ : Engine.t) -> ()) () =
+    ?(on_engine = fun (_ : Engine.t) -> ())
+    ?(on_env = fun (_ : Env.t) -> ()) ?recovery ?plan ?resume_from () =
   if config.nodes_simulated < 1 then invalid_arg "Cluster.run: need >= 1 node";
-  let noise_corpus =
-    match noise_corpus with
-    | Some c -> c
-    | None ->
-        if contended then
-          (Ksurf_syzgen.Generator.run ()).Ksurf_syzgen.Generator.corpus
-        else
-          (* Unused, but keep the type simple: a minimal corpus. *)
-          (Ksurf_syzgen.Generator.run
-             ~params:
-               {
-                 Ksurf_syzgen.Generator.default_params with
-                 Ksurf_syzgen.Generator.target_programs = 1;
-               }
-             ())
-            .Ksurf_syzgen.Generator.corpus
-  in
-  let pool =
-    Array.concat
-      (List.init config.nodes_simulated (fun node ->
-           simulate_node ~app ~kind ~contended ~config ~noise_corpus
-             ~node_seed:(config.seed + (node * 7919))
-             ~on_engine))
-  in
+  let noise_corpus = default_noise_corpus ~contended noise_corpus in
+  let nodes = simulate_nodes ~app ~kind ~contended ~config ~noise_corpus
+      ~on_engine ~on_env in
+  let pool = Array.concat (List.map (fun n -> n.durations) nodes) in
+  let sum f = List.fold_left (fun acc n -> acc + f n) 0 nodes in
+  let node_crashes = sum (fun n -> n.node_crashes) in
+  let node_restarts = sum (fun n -> n.node_restarts) in
+  let samples_dropped = sum (fun n -> n.node_dropped) in
   if Array.length pool = 0 then failwith "Cluster.run: no iteration samples";
   (* Synthesise the BSP runtime: nodes are independent given the
      barrier, so each global iteration lasts as long as the slowest of
@@ -168,14 +265,7 @@ let run ~app ~kind ~contended ?(config = default_config) ?noise_corpus
      Monte-Carlo resample: the estimate is then deterministic in the
      pool, so iso-vs-contended comparisons are free of resampling
      noise. *)
-  let barrier_cost =
-    let per_party =
-      match kind with
-      | Env.Kvm virt -> 1_500.0 +. virt.Ksurf_virt.Virt_config.virtio_net_per_msg
-      | Env.Native | Env.Multikernel | Env.Docker -> 1_800.0
-    in
-    per_party *. Float.ceil (Float.log (float_of_int config.nodes_total) /. Float.log 2.0)
-  in
+  let barrier_cost = barrier_cost_for ~kind ~nodes_total:config.nodes_total in
   let mean arr = Array.fold_left ( +. ) 0.0 arr /. float_of_int (Array.length arr) in
   let sorted = Quantile.sorted_copy pool in
   let n = float_of_int (Array.length sorted) in
@@ -189,16 +279,59 @@ let run ~app ~kind ~contended ?(config = default_config) ?noise_corpus
   let runtime_ns =
     float_of_int config.iterations *. (!expected_max +. barrier_cost)
   in
-  {
-    app_name = app.Apps.name;
-    kind = Env.kind_name kind;
-    contended;
-    runtime_ns;
-    node_mean_iter_ns = mean pool;
-    node_p99_iter_ns = Quantile.p99 pool;
-    straggler_factor = !expected_max /. mean pool;
-    iteration_samples = Array.length pool;
-  }
+  match recovery with
+  | None ->
+      {
+        app_name = app.Apps.name;
+        kind = Env.kind_name kind;
+        contended;
+        runtime_ns;
+        node_mean_iter_ns = mean pool;
+        node_p99_iter_ns = Quantile.p99 pool;
+        straggler_factor = !expected_max /. mean pool;
+        iteration_samples = Array.length pool;
+        policy = "none";
+        degraded = samples_dropped > 0;
+        survivors = config.nodes_total;
+        crashes = node_crashes;
+        restarts = node_restarts;
+        backups = 0;
+        samples_dropped;
+      }
+  | Some rconfig ->
+      (* Supervised mode: replace the closed-form order statistic with
+         the superstep-by-superstep supervisor over the same pool.  The
+         cluster geometry wins over whatever the recovery config says
+         about it, so one [config] describes the experiment. *)
+      let rconfig =
+        {
+          rconfig with
+          Supervisor.nodes = config.nodes_total;
+          iterations = config.iterations;
+          barrier_cost_ns = barrier_cost;
+          seed = config.seed;
+        }
+      in
+      let outcome =
+        Supervisor.run ~pool ~config:rconfig ?plan ?resume_from ~on_engine ()
+      in
+      {
+        app_name = app.Apps.name;
+        kind = Env.kind_name kind;
+        contended;
+        runtime_ns = outcome.Supervisor.runtime_ns;
+        node_mean_iter_ns = mean pool;
+        node_p99_iter_ns = Quantile.p99 pool;
+        straggler_factor = outcome.Supervisor.straggler_factor;
+        iteration_samples = Array.length pool;
+        policy = outcome.Supervisor.policy;
+        degraded = outcome.Supervisor.degraded || samples_dropped > 0;
+        survivors = outcome.Supervisor.survivors;
+        crashes = node_crashes + outcome.Supervisor.crashes;
+        restarts = node_restarts + outcome.Supervisor.restarts;
+        backups = outcome.Supervisor.backups;
+        samples_dropped;
+      }
 
 let relative_loss ~isolated ~contended =
   100.0 *. (contended.runtime_ns -. isolated.runtime_ns) /. isolated.runtime_ns

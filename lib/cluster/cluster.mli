@@ -46,7 +46,35 @@ type result = {
   straggler_factor : float;
       (** mean(max over nodes) / mean(single node): BSP amplification *)
   iteration_samples : int;
+  policy : string;  (** recovery policy, ["none"] unsupervised *)
+  degraded : bool;  (** membership shrank or samples were dropped *)
+  survivors : int;  (** live ranks at the end of the run *)
+  crashes : int;  (** node-simulation + supervised-run crashes *)
+  restarts : int;
+  backups : int;  (** speculative executions launched *)
+  samples_dropped : int;
+      (** iteration samples discarded because a permanent rank crash
+          left them timed with fewer serving cores *)
 }
+
+val pool :
+  app:Ksurf_tailbench.Apps.t ->
+  kind:Ksurf_env.Env.kind ->
+  contended:bool ->
+  ?config:config ->
+  ?noise_corpus:Ksurf_syzgen.Corpus.t ->
+  ?on_engine:(Ksurf_sim.Engine.t -> unit) ->
+  ?on_env:(Ksurf_env.Env.t -> unit) ->
+  unit ->
+  float array
+(** Just the pooled per-iteration durations from the simulated nodes —
+    for callers (e.g. the recovery study) that sweep many supervised
+    syntheses over one set of node simulations. *)
+
+val barrier_cost_for : kind:Ksurf_env.Env.kind -> nodes_total:int -> float
+(** The per-iteration global barrier cost the synthesis charges:
+    log2(nodes) tree depth times a per-party cost that depends on the
+    transport (virtio for KVM). *)
 
 val run :
   app:Ksurf_tailbench.Apps.t ->
@@ -55,11 +83,25 @@ val run :
   ?config:config ->
   ?noise_corpus:Ksurf_syzgen.Corpus.t ->
   ?on_engine:(Ksurf_sim.Engine.t -> unit) ->
+  ?on_env:(Ksurf_env.Env.t -> unit) ->
+  ?recovery:Ksurf_recov.Supervisor.config ->
+  ?plan:Ksurf_fault.Plan.t ->
+  ?resume_from:string ->
   unit ->
   result
-(** One cell of Figure 4.  [on_engine] is called on each simulated
-    node's engine right after creation — the hook sanitizers use to
-    attach probes.  Deterministic for a given seed. *)
+(** One cell of Figure 4.  [on_engine] is called on each engine (node
+    simulations, and each supervised superstep) right after creation —
+    the hook sanitizers use to attach probes.  [on_env] is called on
+    each node deployment so fault plans can be armed; a [Rank_crash]
+    with no restart drops the node's post-crash samples (see
+    [samples_dropped]) instead of polluting the pool.
+
+    With [recovery], the closed-form order statistic is replaced by the
+    elastic-membership supervisor ({!Ksurf_recov.Supervisor}): [plan]
+    feeds its rank crashes in, [resume_from] restarts from a checkpoint,
+    and the geometry fields of the recovery config (nodes, iterations,
+    barrier cost, seed) are taken from [config].  Deterministic for a
+    given seed either way. *)
 
 val relative_loss : isolated:result -> contended:result -> float
 (** Figure 4(c): percent runtime increase from isolated to contended. *)

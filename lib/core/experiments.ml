@@ -34,6 +34,19 @@ let harness_params = function
 
 let kvm_kind = Env.Kvm Ksurf_virt.Virt_config.default
 
+(* Resumable sweeps: a cell whose key is already journalled is skipped
+   (omitted from the result); a freshly computed cell is journalled the
+   moment it completes, so a crash mid-sweep loses at most one cell. *)
+let journal_done journal key =
+  match journal with
+  | Some j -> Ksurf_recov.Journal.mem j key
+  | None -> false
+
+let journal_record journal key =
+  match journal with
+  | Some j -> Ksurf_recov.Journal.record j key
+  | None -> ()
+
 let run_varbench ?kernel_config ~seed ~scale ~corpus kind partition =
   let engine = Engine.create ~seed () in
   let env = Env.deploy ~engine ?kernel_config kind partition in
@@ -685,7 +698,7 @@ module Dose = struct
             result.Harness.sites))
 
   let run ?(seed = 42) ?(scale = Full) ?corpus ?plan
-      ?(intensities = default_intensities) () =
+      ?(intensities = default_intensities) ?journal () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
@@ -693,8 +706,11 @@ module Dose = struct
     let cells =
       List.concat_map
         (fun (env_name, kind, units) ->
-          List.map
+          List.filter_map
             (fun intensity ->
+              let key = Printf.sprintf "dose:%s:%.2f" env_name intensity in
+              if journal_done journal key then None
+              else begin
               let engine = Engine.create ~seed () in
               let env = Env.deploy ~engine kind (Partition.table1 units) in
               let kf =
@@ -717,16 +733,21 @@ module Dose = struct
                     (fun acc x -> acc +. (((x -. mean) *. (x -. mean)) /. float_of_int n))
                     0.0 samples
               in
-              {
-                env = env_name;
-                intensity;
-                p99 = (if n = 0 then 0.0 else Quantile.p99 samples);
-                cov = (if mean > 0.0 then sqrt var /. mean else 0.0);
-                injections = Kfault.total_injections kf;
-                retries = result.Harness.transient_retries;
-                degraded = result.Harness.degraded;
-                survivors = result.Harness.survivors;
-              })
+              let cell =
+                {
+                  env = env_name;
+                  intensity;
+                  p99 = (if n = 0 then 0.0 else Quantile.p99 samples);
+                  cov = (if mean > 0.0 then sqrt var /. mean else 0.0);
+                  injections = Kfault.total_injections kf;
+                  retries = result.Harness.transient_retries;
+                  degraded = result.Harness.degraded;
+                  survivors = result.Harness.survivors;
+                }
+              in
+              journal_record journal key;
+              Some cell
+              end)
             intensities)
         environments
     in
@@ -856,7 +877,7 @@ module Specialize = struct
       surface_area = !surface /. float_of_int ranks;
     }
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?journal () =
     let corpus = workload ~seed ~scale ?corpus () in
     let spec =
       Specializer.compile (Profile.of_corpus ~name:"varbench-fs" corpus)
@@ -868,17 +889,28 @@ module Specialize = struct
       measure ~name ~env (Harness.run ~env ~corpus ~params:(harness_params scale) ())
     in
     let rows =
-      [
-        cell "native-64" Env.Native 1;
-        (* "Per-tenant specialized kernels": a MultiK-style multikernel
-           deployment — each rank gets a private pruned kernel at native
-           syscall cost, so the shared-kernel lock convoys disappear
-           without paying the KVM cpu_cost_factor tax. *)
-        cell "native-64-kspec" Env.Multikernel 64
-          ~kernel_config:(Specializer.kernel_config spec)
-          ~specialized:true;
-        cell "kvm-64" kvm_kind 64;
-      ]
+      List.filter_map
+        (fun (name, make) ->
+          let key = "specialize:" ^ name in
+          if journal_done journal key then None
+          else begin
+            let row = make () in
+            journal_record journal key;
+            Some row
+          end)
+        [
+          ("native-64", fun () -> cell "native-64" Env.Native 1);
+          (* "Per-tenant specialized kernels": a MultiK-style multikernel
+             deployment — each rank gets a private pruned kernel at native
+             syscall cost, so the shared-kernel lock convoys disappear
+             without paying the KVM cpu_cost_factor tax. *)
+          ( "native-64-kspec",
+            fun () ->
+              cell "native-64-kspec" Env.Multikernel 64
+                ~kernel_config:(Specializer.kernel_config spec)
+                ~specialized:true );
+          ("kvm-64", fun () -> cell "kvm-64" kvm_kind 64);
+        ]
     in
     { spec; rows; corpus_calls = Corpus.total_calls corpus }
 
@@ -913,6 +945,174 @@ module Specialize = struct
         [
           "environment"; "stat"; Buckets.header; "p50 (us)"; "p99 (us)";
           "site p99/p50"; "denials"; "surface";
+        ]
+      ~rows ppf
+end
+
+module Recover = struct
+  module Supervisor = Ksurf_recov.Supervisor
+
+  type cell = {
+    policy : string;
+    crash_rate : float;
+    runtime_ns : float;
+    straggler_factor : float;
+    supersteps : int;
+    survivors : int;
+    degraded : bool;
+    crashes : int;
+    restarts : int;
+    backups : int;
+    deaths : int;
+    transitions : int;
+    checkpoints : int;
+  }
+
+  type t = {
+    nodes : int;
+    iterations : int;
+    pool_mean_ns : float;
+    cells : cell list;
+  }
+
+  let default_rates = [ 0.0; 0.005; 0.01; 0.02 ]
+
+  let policies =
+    [ Supervisor.Survivors; Supervisor.Readmit; Supervisor.Speculative ]
+
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?app ?(rates = default_rates)
+      ?journal () =
+    let corpus =
+      match corpus with Some c -> c | None -> default_corpus ~seed scale
+    in
+    let app =
+      match app with
+      | Some a -> a
+      | None -> (
+          match Apps.by_name "silo" with
+          | Some a -> a
+          | None -> List.hd Apps.all)
+    in
+    let cconfig = Fig4.cluster_config ~seed scale in
+    (* One set of node simulations feeds every (policy x rate) cell: the
+       sweep varies only the supervision, never the empirical pool. *)
+    let pool =
+      Cluster.pool ~app ~kind:kvm_kind ~contended:false ~config:cconfig
+        ~noise_corpus:corpus ()
+    in
+    let iterations =
+      match scale with Quick -> 12 | Full -> cconfig.Cluster.iterations
+    in
+    let barrier =
+      Cluster.barrier_cost_for ~kind:kvm_kind
+        ~nodes_total:cconfig.Cluster.nodes_total
+    in
+    let base =
+      {
+        Supervisor.default_config with
+        Supervisor.nodes = cconfig.Cluster.nodes_total;
+        iterations;
+        barrier_cost_ns = barrier;
+        seed;
+      }
+    in
+    let cells =
+      List.concat_map
+        (fun policy ->
+          List.filter_map
+            (fun crash_rate ->
+              let key =
+                Printf.sprintf "recover:%s:%.4f"
+                  (Supervisor.policy_name policy)
+                  crash_rate
+              in
+              if journal_done journal key then None
+              else begin
+                let o =
+                  Supervisor.run ~pool
+                    ~config:{ base with Supervisor.policy; crash_rate }
+                    ()
+                in
+                let cell =
+                  {
+                    policy = o.Supervisor.policy;
+                    crash_rate;
+                    runtime_ns = o.Supervisor.runtime_ns;
+                    straggler_factor = o.Supervisor.straggler_factor;
+                    supersteps = o.Supervisor.supersteps;
+                    survivors = o.Supervisor.survivors;
+                    degraded = o.Supervisor.degraded;
+                    crashes = o.Supervisor.crashes;
+                    restarts = o.Supervisor.restarts;
+                    backups = o.Supervisor.backups;
+                    deaths = o.Supervisor.deaths;
+                    transitions = o.Supervisor.transitions;
+                    checkpoints = o.Supervisor.checkpoints;
+                  }
+                in
+                journal_record journal key;
+                Some cell
+              end)
+            rates)
+        policies
+    in
+    let n = Array.length pool in
+    let pool_mean_ns =
+      if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 pool /. float_of_int n
+    in
+    { nodes = cconfig.Cluster.nodes_total; iterations; pool_mean_ns; cells }
+
+  let cell t ~policy ~crash_rate =
+    List.find_opt
+      (fun c -> c.policy = policy && c.crash_rate = crash_rate)
+      t.cells
+
+  (* Runtime at each crash rate relative to the same policy's crash-free
+     baseline: the recovery-cost curve the study plots. *)
+  let overhead t ~policy =
+    let mine = List.filter (fun c -> c.policy = policy) t.cells in
+    match List.find_opt (fun c -> c.crash_rate = 0.0) mine with
+    | None -> []
+    | Some base when base.runtime_ns <= 0.0 -> []
+    | Some base ->
+        List.map (fun c -> (c.crash_rate, c.runtime_ns /. base.runtime_ns)) mine
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "Recovery study: crash rate x policy on the %d-node BSP synthesis \
+       (%d supersteps, pool mean %.2f ms)@.@."
+      t.nodes t.iterations (t.pool_mean_ns /. 1e6);
+    let rows =
+      List.map
+        (fun c ->
+          let rel =
+            match cell t ~policy:c.policy ~crash_rate:0.0 with
+            | Some base when base.runtime_ns > 0.0 ->
+                Printf.sprintf "%.2fx" (c.runtime_ns /. base.runtime_ns)
+            | _ -> "-"
+          in
+          [
+            c.policy;
+            Printf.sprintf "%.3f" c.crash_rate;
+            Printf.sprintf "%.3f" (c.runtime_ns /. 1e9);
+            rel;
+            Printf.sprintf "%.2f" c.straggler_factor;
+            string_of_int c.survivors;
+            (if c.degraded then "yes" else "no");
+            string_of_int c.crashes;
+            string_of_int c.restarts;
+            string_of_int c.backups;
+            string_of_int c.deaths;
+            string_of_int c.checkpoints;
+          ])
+        t.cells
+    in
+    Report.table
+      ~header:
+        [
+          "policy"; "crash rate"; "runtime (s)"; "vs crash-free"; "straggler";
+          "survivors"; "degraded"; "crashes"; "restarts"; "backups"; "deaths";
+          "ckpts";
         ]
       ~rows ppf
 end

@@ -218,9 +218,13 @@ module Dose : sig
 
   val run :
     ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
-    ?plan:Ksurf_fault.Plan.t -> ?intensities:float list -> unit -> t
+    ?plan:Ksurf_fault.Plan.t -> ?intensities:float list ->
+    ?journal:Ksurf_recov.Journal.t -> unit -> t
   (** One varbench run per (environment x intensity) cell; [plan]
-      defaults to the ["mixed"] preset (every mechanism, no crashes). *)
+      defaults to the ["mixed"] preset (every mechanism, no crashes).
+      With [journal], cells already recorded (keys
+      [dose:<env>:<intensity>]) are skipped and omitted from the result;
+      each completed cell is journalled immediately. *)
 
   val cell : t -> env:string -> intensity:float -> cell option
 
@@ -276,8 +280,65 @@ module Specialize : sig
       {!retained}; falls back to the full corpus if nothing survives). *)
 
   val run :
-    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
+    ?journal:Ksurf_recov.Journal.t -> unit -> t
+  (** With [journal], environments already recorded (keys
+      [specialize:<env>]) are skipped and omitted from the result. *)
 
   val row : t -> env:string -> row option
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Recovery study (krecov): crash rate x recovery policy on the 64-node
+    BSP synthesis.  One set of node simulations feeds an empirical
+    iteration pool ({!Ksurf_cluster.Cluster.pool}); the supervised
+    superstep-by-superstep re-synthesis
+    ({!Ksurf_recov.Supervisor.run}) then sweeps every recovery policy
+    across per-rank per-superstep crash probabilities, measuring how
+    much runtime each policy pays to survive each crash rate. *)
+module Recover : sig
+  type cell = {
+    policy : string;
+    crash_rate : float;
+    runtime_ns : float;
+    straggler_factor : float;
+    supersteps : int;
+    survivors : int;
+    degraded : bool;
+    crashes : int;
+    restarts : int;
+    backups : int;
+    deaths : int;
+    transitions : int;  (** rank-transition probe events emitted *)
+    checkpoints : int;
+  }
+
+  type t = {
+    nodes : int;
+    iterations : int;  (** supersteps per supervised run *)
+    pool_mean_ns : float;  (** mean of the shared iteration pool *)
+    cells : cell list;
+  }
+
+  val default_rates : float list
+  (** [0; 0.005; 0.01; 0.02] — zero is each policy's baseline. *)
+
+  val policies : Ksurf_recov.Supervisor.policy list
+  (** Survivors, Readmit, Speculative ([Disabled] wedges by design and
+      is exercised by the watchdog tests instead). *)
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
+    ?app:Ksurf_tailbench.Apps.t -> ?rates:float list ->
+    ?journal:Ksurf_recov.Journal.t -> unit -> t
+  (** [app] defaults to silo on isolated kvm-64.  With [journal], cells
+      already recorded (keys [recover:<policy>:<rate>]) are skipped and
+      omitted from the result. *)
+
+  val cell : t -> policy:string -> crash_rate:float -> cell option
+
+  val overhead : t -> policy:string -> (float * float) list
+  (** [(crash_rate, runtime / crash-free runtime)] for one policy. *)
+
   val pp : Format.formatter -> t -> unit
 end

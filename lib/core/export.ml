@@ -168,6 +168,44 @@ let dose ~dir (t : E.Dose.t) =
          t.E.Dose.cells);
   [ p ]
 
+let recover ~dir (t : E.Recover.t) =
+  let p = path dir "recover.csv" in
+  Csv.write ~path:p
+    ~header:
+      [ "policy"; "crash_rate"; "runtime_ns"; "vs_crash_free";
+        "straggler_factor"; "supersteps"; "survivors"; "degraded"; "crashes";
+        "restarts"; "backups"; "deaths"; "transitions"; "checkpoints" ]
+    ~rows:
+      (List.map
+         (fun (c : E.Recover.cell) ->
+           let rel =
+             match
+               E.Recover.cell t ~policy:c.E.Recover.policy ~crash_rate:0.0
+             with
+             | Some base when base.E.Recover.runtime_ns > 0.0 ->
+                 Printf.sprintf "%.4f"
+                   (c.E.Recover.runtime_ns /. base.E.Recover.runtime_ns)
+             | _ -> ""
+           in
+           [
+             c.E.Recover.policy;
+             Printf.sprintf "%.4f" c.E.Recover.crash_rate;
+             Printf.sprintf "%.0f" c.E.Recover.runtime_ns;
+             rel;
+             Printf.sprintf "%.4f" c.E.Recover.straggler_factor;
+             string_of_int c.E.Recover.supersteps;
+             string_of_int c.E.Recover.survivors;
+             string_of_bool c.E.Recover.degraded;
+             string_of_int c.E.Recover.crashes;
+             string_of_int c.E.Recover.restarts;
+             string_of_int c.E.Recover.backups;
+             string_of_int c.E.Recover.deaths;
+             string_of_int c.E.Recover.transitions;
+             string_of_int c.E.Recover.checkpoints;
+           ])
+         t.E.Recover.cells);
+  [ p ]
+
 let specialize ~dir (t : E.Specialize.t) =
   let p = path dir "specialize.csv" in
   Csv.write ~path:p

@@ -22,3 +22,9 @@ val dose : dir:string -> Experiments.Dose.t -> string list
 val specialize : dir:string -> Experiments.Specialize.t -> string list
 (** Two rows (p99, max buckets) per environment, stamped with p50/p99,
     tail ratio, denial count and mean surface area. *)
+
+val recover : dir:string -> Experiments.Recover.t -> string list
+(** One row per (policy, crash rate) cell: runtime, runtime relative to
+    the same policy's crash-free baseline, straggler factor, and the
+    crash / restart / backup / death / transition / checkpoint
+    counters. *)

@@ -21,6 +21,9 @@
       engine invariants (see [ksurf_cli analyze])
     - {!Fault_plan}, {!Kfault} — deterministic fault injection (see
       [ksurf_cli inject])
+    - {!Detector}, {!Supervisor}, {!Checkpoint}, {!Recov_journal} —
+      failure detection, elastic BSP supervision and checkpoint/restart
+      (see [ksurf_cli recover])
     - {!Apps}, {!Service}, {!Runner}, {!Cluster} — tailbench workloads,
       single-node and 64-node experiments
     - {!Experiments} — drivers that regenerate every table and figure
@@ -92,6 +95,12 @@ module Analysis = Ksurf_analysis
 
 module Fault_plan = Ksurf_fault.Plan
 module Kfault = Ksurf_fault.Kfault
+
+module Fileio = Ksurf_util.Fileio
+module Detector = Ksurf_recov.Detector
+module Checkpoint = Ksurf_recov.Checkpoint
+module Recov_journal = Ksurf_recov.Journal
+module Supervisor = Ksurf_recov.Supervisor
 
 module Report = Ksurf_report.Report
 module Csv = Ksurf_report.Csv

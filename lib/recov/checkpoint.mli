@@ -1,0 +1,43 @@
+(** Crash-consistent superstep checkpoints for the BSP supervisor.
+
+    A checkpoint is the supervisor's {e complete} cross-superstep state:
+    everything the superstep loop reads that outlives one superstep.
+    Restoring it and re-running is therefore bit-identical to never
+    having stopped — the property [test_recov.ml] kills runs at several
+    supersteps to verify.
+
+    On disk: a versioned header, an FNV-1a checksum of the payload, and
+    one [key value] line per field, with floats as IEEE-754 bit
+    patterns in hex.  Written via {!Ksurf_util.Fileio.write_atomic}, so
+    a crash mid-write cannot corrupt the previous checkpoint. *)
+
+type rejoin = {
+  rj_rank : int;
+  rj_superstep : int;  (** superstep at which the rank re-enters *)
+  rj_incident : int;  (** episode id, threaded into probe events *)
+  rj_died_at : int;  (** superstep of the death, for catch-up cost *)
+}
+
+type state = {
+  superstep : int;  (** next superstep to execute *)
+  runtime_ns : float;  (** accumulated runtime, barriers included *)
+  membership : int list;  (** sorted live ranks *)
+  rejoins : rejoin list;  (** restarted ranks awaiting re-admission *)
+  incidents : int;  (** crash/recovery episodes allocated so far *)
+  prng_state : int64;  (** supervisor stream position… *)
+  prng_seed : int;  (** …and seed ({!Ksurf_util.Prng.restore}) *)
+  crashes : int;
+  restarts : int;
+  backups : int;
+  deaths : int;
+  transitions : int;
+  checkpoints : int;  (** checkpoints written so far, this one included *)
+  degraded : bool;
+}
+
+val write : path:string -> state -> unit
+(** Atomic write; raises {!Ksurf_util.Fileio.Io_error} on I/O failure. *)
+
+val read : path:string -> (state, string) result
+(** Parse and verify (header, checksum, every field).  All corruption
+    modes return [Error] with a description; nothing raises. *)

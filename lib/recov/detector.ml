@@ -1,0 +1,178 @@
+(* Phi-accrual failure detection (Hayashibara et al., SRDS'04), the
+   shape Cassandra and Akka ship: instead of a boolean timeout, each
+   rank accrues a suspicion level phi = -log10 P(the rank is alive given
+   its silence), computed against a windowed estimate of its heartbeat
+   inter-arrival time.  Under the exponential-arrival assumption
+   P(silence > t) = exp(-t / mean), so
+
+       phi(t) = t_silence / (mean_interval * ln 10)
+
+   which is continuous and strictly monotone in silence — thresholds
+   pick the trade-off between detection latency and false suspicion.
+   Two thresholds give three states: Alive below [suspect_phi], Suspect
+   between, Dead above [dead_phi].  Dead is sticky: revival is an
+   explicit supervisor decision ({!revive}), never inferred. *)
+
+type verdict = Alive | Suspect | Dead
+
+let verdict_name = function
+  | Alive -> "alive"
+  | Suspect -> "suspect"
+  | Dead -> "dead"
+
+type config = {
+  window : int;  (* inter-arrival samples kept per rank *)
+  bootstrap_interval_ns : float;  (* assumed mean before samples exist *)
+  min_interval_ns : float;  (* floor on the mean estimate *)
+  suspect_phi : float;
+  dead_phi : float;
+}
+
+let default_config =
+  {
+    window = 8;
+    bootstrap_interval_ns = 1.0e5;
+    min_interval_ns = 1.0;
+    suspect_phi = 1.0;
+    dead_phi = 4.0;
+  }
+
+type rank_state = {
+  rank : int;
+  mutable intervals : float list;  (* most recent first, length <= window *)
+  mutable interval_count : int;
+  mutable last : float;  (* last heartbeat time *)
+  mutable state : verdict;
+  mutable monitored : bool;
+}
+
+type t = {
+  config : config;
+  ranks : rank_state list;  (* sorted by rank: evaluation order is fixed *)
+}
+
+let create ?(config = default_config) ~now ~ranks () =
+  if config.window < 1 then invalid_arg "Detector.create: window < 1";
+  if config.dead_phi < config.suspect_phi then
+    invalid_arg "Detector.create: dead_phi < suspect_phi";
+  let ranks = List.sort_uniq compare ranks in
+  {
+    config;
+    ranks =
+      List.map
+        (fun rank ->
+          {
+            rank;
+            intervals = [];
+            interval_count = 0;
+            last = now;
+            state = Alive;
+            monitored = true;
+          })
+        ranks;
+  }
+
+let find t rank =
+  match List.find_opt (fun r -> r.rank = rank) t.ranks with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Detector: unknown rank %d" rank)
+
+let heartbeat t ~rank ~now =
+  let r = find t rank in
+  let interval = now -. r.last in
+  if interval > 0.0 then begin
+    let kept =
+      if r.interval_count >= t.config.window then
+        List.filteri (fun i _ -> i < t.config.window - 1) r.intervals
+      else r.intervals
+    in
+    r.intervals <- interval :: kept;
+    r.interval_count <- min (r.interval_count + 1) t.config.window
+  end;
+  r.last <- now
+
+let mean_interval t r =
+  match r.intervals with
+  | [] -> Float.max t.config.bootstrap_interval_ns t.config.min_interval_ns
+  | is ->
+      let sum = List.fold_left ( +. ) 0.0 is in
+      Float.max (sum /. float_of_int (List.length is)) t.config.min_interval_ns
+
+let ln10 = Float.log 10.0
+
+let phi_of t r ~now =
+  let silence = Float.max 0.0 (now -. r.last) in
+  silence /. (mean_interval t r *. ln10)
+
+let phi t ~rank ~now = phi_of t (find t rank) ~now
+let state t ~rank = (find t rank).state
+let retire t ~rank = (find t rank).monitored <- false
+
+let revive t ~rank ~now =
+  let r = find t rank in
+  r.state <- Alive;
+  r.intervals <- [];
+  r.interval_count <- 0;
+  r.last <- now;
+  r.monitored <- true
+
+(* Re-evaluate every monitored rank at [now]; apply and return the
+   state changes in rank order.  Dead is terminal here — a heartbeat
+   from a Dead rank is history's problem, not the detector's. *)
+let evaluate t ~now =
+  List.filter_map
+    (fun r ->
+      if not r.monitored then None
+      else
+        let p = phi_of t r ~now in
+        let next =
+          match r.state with
+          | Alive when p >= t.config.suspect_phi -> Suspect
+          | Suspect when p >= t.config.dead_phi -> Dead
+          | Suspect when p < t.config.suspect_phi -> Alive
+          | s -> s
+        in
+        if next = r.state then None
+        else begin
+          let prev = r.state in
+          r.state <- next;
+          Some (r.rank, prev, next)
+        end)
+    t.ranks
+
+type rank_snapshot = {
+  snap_rank : int;
+  snap_intervals : float list;
+  snap_last : float;
+  snap_state : verdict;
+  snap_monitored : bool;
+}
+
+let save t =
+  List.map
+    (fun r ->
+      {
+        snap_rank = r.rank;
+        snap_intervals = r.intervals;
+        snap_last = r.last;
+        snap_state = r.state;
+        snap_monitored = r.monitored;
+      })
+    t.ranks
+
+let restore ?(config = default_config) snaps =
+  {
+    config;
+    ranks =
+      List.map
+        (fun s ->
+          {
+            rank = s.snap_rank;
+            intervals = s.snap_intervals;
+            interval_count = List.length s.snap_intervals;
+            last = s.snap_last;
+            state = s.snap_state;
+            monitored = s.snap_monitored;
+          })
+        (List.sort (fun a b -> compare a.snap_rank b.snap_rank) snaps);
+  }

@@ -1,0 +1,69 @@
+(** Phi-accrual failure detection over virtual-time heartbeats.
+
+    Each monitored rank accrues a suspicion level
+    [phi = silence / (mean_interval * ln 10)] — the exponential-arrival
+    form of Hayashibara's accrual detector — against a windowed estimate
+    of its heartbeat inter-arrival time.  Two thresholds split phi into
+    three states: [Alive] below [suspect_phi], [Suspect] between,
+    [Dead] above [dead_phi].  Phi is continuous and strictly monotone
+    in silence, so detection latency is a deterministic function of the
+    heartbeat history — property-tested in [test_recov.ml].
+
+    [Dead] is sticky: only an explicit {!revive} (a supervisor decision,
+    e.g. a restarted rank re-admitted after catch-up) returns a rank to
+    [Alive]. *)
+
+type verdict = Alive | Suspect | Dead
+
+val verdict_name : verdict -> string
+(** ["alive"], ["suspect"], ["dead"] — the strings carried by
+    [Engine.Rank_transition] probe events. *)
+
+type config = {
+  window : int;  (** inter-arrival samples kept per rank *)
+  bootstrap_interval_ns : float;
+      (** assumed mean inter-arrival before any samples exist *)
+  min_interval_ns : float;  (** floor on the mean estimate *)
+  suspect_phi : float;
+  dead_phi : float;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> now:float -> ranks:int list -> unit -> t
+(** Fresh detector; every rank starts [Alive] with its last-heartbeat
+    time set to [now]. *)
+
+val heartbeat : t -> rank:int -> now:float -> unit
+(** Record a heartbeat: fold the inter-arrival into the window. *)
+
+val phi : t -> rank:int -> now:float -> float
+(** Current suspicion level of [rank] at time [now]. *)
+
+val evaluate : t -> now:float -> (int * verdict * verdict) list
+(** Re-evaluate every monitored rank; apply and return the transitions
+    as [(rank, from, to)], in rank order (deterministic). *)
+
+val state : t -> rank:int -> verdict
+val retire : t -> rank:int -> unit
+(** Stop monitoring a rank that finished its work legitimately — a
+    departed rank must not accrue suspicion. *)
+
+val revive : t -> rank:int -> now:float -> unit
+(** Supervisor decision: return a (typically Dead) rank to [Alive] with
+    a cleared window. *)
+
+type rank_snapshot = {
+  snap_rank : int;
+  snap_intervals : float list;
+  snap_last : float;
+  snap_state : verdict;
+  snap_monitored : bool;
+}
+
+val save : t -> rank_snapshot list
+val restore : ?config:config -> rank_snapshot list -> t
+(** Checkpoint support: {!restore} of a {!save} resumes detection
+    bit-identically. *)

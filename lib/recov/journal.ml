@@ -1,0 +1,57 @@
+(* Resumable-sweep journal: a small file recording which cells of an
+   experiment sweep have already completed, so [ksurf_cli ... --resume]
+   can skip them after a crash.  Cells are free-form string keys (e.g.
+   "dose:native:1.5").  Each line carries its own FNV-1a checksum, so a
+   line half-written by a dying process is recognised and dropped on
+   load instead of poisoning the resume.  Rewrites are atomic
+   (temp + rename); the journal is tiny, so rewriting beats appending
+   and needing fsync discipline. *)
+
+module Fileio = Ksurf_util.Fileio
+module Stable_hash = Ksurf_util.Stable_hash
+
+let magic = "ksurf-journal v1"
+
+type t = { path : string; mutable cells : string list (* reversed *) }
+
+let path t = t.path
+let cells t = List.rev t.cells
+let mem t key = List.mem key t.cells
+
+let parse_line line =
+  (* "cell <hex-checksum> <key>"; the key may itself contain spaces. *)
+  match String.split_on_char ' ' line with
+  | "cell" :: sum :: rest when rest <> [] ->
+      let key = String.concat " " rest in
+      let declared = int_of_string_opt ("0x" ^ sum) in
+      if declared = Some (Stable_hash.string key) then Some key else None
+  | _ -> None
+
+let load ~path =
+  if not (Sys.file_exists path) then { path; cells = [] }
+  else
+    match Fileio.read_lines path with
+    | [] -> { path; cells = [] }
+    | header :: rest when header = magic ->
+        {
+          path;
+          cells = List.rev (List.filter_map parse_line rest);
+        }
+    | _ ->
+        (* Unrecognised file: treat as empty rather than resuming from
+           garbage; the next [record] overwrites it. *)
+        { path; cells = [] }
+
+let persist t =
+  Fileio.write_atomic ~path:t.path (fun oc ->
+      output_string oc (magic ^ "\n");
+      List.iter
+        (fun key ->
+          Printf.fprintf oc "cell %x %s\n" (Stable_hash.string key) key)
+        (cells t))
+
+let record t key =
+  if not (mem t key) then begin
+    t.cells <- key :: t.cells;
+    persist t
+  end

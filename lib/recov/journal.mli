@@ -1,0 +1,25 @@
+(** Resumable-sweep journal.
+
+    Records completed sweep cells (free-form string keys) so an
+    interrupted experiment re-run with [--resume] skips work already
+    done.  Every line is checksummed individually — a torn write from a
+    dying process is dropped on load, not resumed from.  All writes are
+    atomic (temp + rename) and raise {!Ksurf_util.Fileio.Io_error} on
+    file-system trouble. *)
+
+type t
+
+val load : path:string -> t
+(** Load a journal; a missing, empty or unrecognisable file yields an
+    empty journal at that path.  Corrupt lines are silently dropped. *)
+
+val record : t -> string -> unit
+(** Mark a cell complete and persist.  Idempotent per key. *)
+
+val mem : t -> string -> bool
+(** Has this cell already completed? *)
+
+val cells : t -> string list
+(** Completed cells in completion order. *)
+
+val path : t -> string

@@ -22,10 +22,9 @@ let write ~path ~header ~rows =
       if List.length row <> List.length header then
         invalid_arg "Csv.write: ragged row")
     rows;
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  (* Atomic replacement: a crash (or ENOSPC) mid-export must not leave a
+     truncated CSV that a plotting script would silently accept. *)
+  Ksurf_util.Fileio.write_atomic ~path (fun oc ->
       output_string oc (line header);
       output_char oc '\n';
       List.iter

@@ -8,5 +8,7 @@ val line : string list -> string
 (** One CSV record (no trailing newline). *)
 
 val write : path:string -> header:string list -> rows:string list list -> unit
-(** Write a whole file, header first.  Raises [Invalid_argument] if a
-    row's width differs from the header's. *)
+(** Write a whole file, header first, atomically (temp + rename): a
+    crash or full disk never leaves a truncated CSV behind.  Raises
+    [Invalid_argument] if a row's width differs from the header's and
+    {!Ksurf_util.Fileio.Io_error} on file-system failure. *)

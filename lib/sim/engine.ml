@@ -18,6 +18,10 @@ type t = {
      stretch the critical section with [delay].  None (the default)
      costs one load on the acquire path. *)
   mutable acquire_hook : (acquire_site -> string -> unit) option;
+  (* Liveness accounting (krecov): every parked suspension is tracked so
+     a watchdog abort can name the processes that will never run again.
+     Maintained unconditionally — one hashtable op per suspend/wake. *)
+  parked : (int, int * float) Hashtbl.t;  (* token -> (pid, since) *)
 }
 
 and acquire_site = Lock_site | Resource_site
@@ -43,6 +47,16 @@ and event_info =
   | Denied of { now : float; pid : int; syscall : string; enforced : bool }
       (** a specialization policy (kspec) rejected a system call;
           [enforced] distinguishes ENOSYS failures from audit-only logs *)
+  | Rank_transition of {
+      now : float;
+      pid : int;
+      rank : int;
+      from_state : string;
+      to_state : string;
+      incident : int;
+    }
+      (** a failure detector (krecov) reclassified a monitored rank;
+          [incident] groups the transitions of one crash/recovery episode *)
 
 and sync_op =
   | Acquire of { contended : bool }
@@ -56,6 +70,7 @@ and sync_op =
   | Barrier_depart of { generation : int; parties : int }
 
 exception Process_error of string * exn
+exception Hung of string
 
 type _ Effect.t +=
   | Delay : t * float -> unit Effect.t
@@ -80,6 +95,7 @@ let create ?(seed = 0) () =
     next_pid = 0;
     next_token = 0;
     acquire_hook = None;
+    parked = Hashtbl.create 16;
   }
 
 let now t = t.now
@@ -138,6 +154,7 @@ let handle t f =
                   let pid = t.cur_pid in
                   t.next_token <- t.next_token + 1;
                   let token = t.next_token in
+                  Hashtbl.replace t.parked token (pid, t.now);
                   if observed t then
                     emit t (Suspended { now = t.now; pid; token });
                   let woken = ref false in
@@ -145,6 +162,7 @@ let handle t f =
                     if observed t then emit t (Woken { now = t.now; pid; token });
                     if !woken then failwith "Engine: process woken twice";
                     woken := true;
+                    Hashtbl.remove t.parked token;
                     (* The continuation resumes under the suspended
                        process's pid, not the waker's. *)
                     schedule_pid t ~pid ~at:t.now (fun () -> continue k ())
@@ -176,9 +194,41 @@ let suspend register =
   let t = engine_of_process "Engine.suspend" in
   Effect.perform (Suspend (t, register))
 
-let run ?until ?stop t =
+let blocked t =
+  Hashtbl.fold (fun token (pid, since) acc -> (pid, token, since) :: acc) t.parked []
+  |> List.sort compare
+
+let hung_diagnostic t ~reason =
+  let parked = blocked t in
+  let parked_desc =
+    match parked with
+    | [] -> "no parked processes"
+    | ps ->
+        let shown = if List.length ps > 8 then (List.filteri (fun i _ -> i < 8) ps) else ps in
+        let body =
+          shown
+          |> List.map (fun (pid, token, since) ->
+                 Printf.sprintf "pid %d (token %d, parked since t=%g)" pid token
+                   since)
+          |> String.concat "; "
+        in
+        let extra = List.length ps - List.length shown in
+        Printf.sprintf "%d parked: %s%s" (List.length ps) body
+          (if extra > 0 then Printf.sprintf "; ... %d more" extra else "")
+  in
+  Printf.sprintf
+    "Engine hung at t=%g (%s): %d runnable event(s) pending, %s" t.now reason
+    (Heap.size t.heap) parked_desc
+
+let run ?until ?stop ?deadline ?stall_limit t =
   let saved = !current in
   current := Some t;
+  (* No-progress detection: count consecutive executed events that fail to
+     advance virtual time; a livelocked simulation (wake loops, zero-delay
+     ping-pong) trips [stall_limit] long before wall-clock patience runs
+     out, and the abort names the parked processes. *)
+  let stall_at = ref t.now in
+  let stalled = ref 0 in
   Fun.protect
     ~finally:(fun () -> current := saved)
     (fun () ->
@@ -191,12 +241,42 @@ let run ?until ?stop t =
           | Some time when (match until with Some u -> time > u | None -> false)
             ->
               continue := false
+          | Some time
+            when (match deadline with Some d -> time > d | None -> false) ->
+              t.now <- (match deadline with Some d -> d | None -> t.now);
+              raise
+                (Hung
+                   (hung_diagnostic t
+                      ~reason:
+                        (Printf.sprintf
+                           "virtual-time deadline %g exceeded by next event at \
+                            %g"
+                           (Option.get deadline) time)))
           | Some _ -> (
               match Heap.pop t.heap with
               | None -> continue := false
               | Some (time, thunk) ->
                   t.now <- time;
                   t.executed <- t.executed + 1;
+                  (match stall_limit with
+                  | None -> ()
+                  | Some limit ->
+                      if time > !stall_at then begin
+                        stall_at := time;
+                        stalled := 0
+                      end
+                      else begin
+                        incr stalled;
+                        if !stalled > limit then
+                          raise
+                            (Hung
+                               (hung_diagnostic t
+                                  ~reason:
+                                    (Printf.sprintf
+                                       "no progress: %d consecutive events at \
+                                        t=%g"
+                                       !stalled time)))
+                      end);
                   thunk ())
       done;
       match until with

@@ -43,6 +43,19 @@ type event_info =
           (Audit mode).  Probe-visible so the determinism checker hashes
           denials and sanitizer scenarios can assert specialized runs
           are violation-free. *)
+  | Rank_transition of {
+      now : float;
+      pid : int;
+      rank : int;
+      from_state : string;
+      to_state : string;
+      incident : int;
+    }
+      (** A failure detector (krecov) reclassified monitored [rank]
+          ([from_state] → [to_state], each one of ["alive"], ["suspect"],
+          ["dead"]).  [incident] numbers the crash/recovery episode so
+          sanitizer scenarios can assert each transition appears exactly
+          once per incident. *)
 
 (** Synchronisation-primitive operations, reported by {!Lock},
     {!Rwlock} and {!Barrier} through their engine.  Acquire events are
@@ -113,12 +126,31 @@ val suspend : ((unit -> unit) -> unit) -> unit
     wake function.  Calling the wake function reschedules the process at
     the then-current virtual time; waking twice raises [Failure]. *)
 
-val run : ?until:float -> ?stop:(unit -> bool) -> t -> unit
+val run :
+  ?until:float ->
+  ?stop:(unit -> bool) ->
+  ?deadline:float ->
+  ?stall_limit:int ->
+  t ->
+  unit
 (** Drain the event queue (or stop once the next event is later than
     [until]).  [stop] is polled before each event: returning [true]
     halts the run — the way harnesses terminate measurement while
     infinite background daemons still hold queued events.  May be called
-    repeatedly as more work is spawned. *)
+    repeatedly as more work is spawned.
+
+    Liveness watchdog (krecov): [deadline] raises {!Hung} if the next
+    event lies beyond that virtual time — unlike [until], which stops
+    silently, a deadline overrun is treated as a wedged simulation and
+    aborts with a diagnostic naming the parked processes.  [stall_limit]
+    raises {!Hung} after more than that many consecutive events execute
+    without virtual time advancing (zero-delay wake loops, livelock). *)
+
+val blocked : t -> (int * int * float) list
+(** Parked suspensions as [(pid, token, since)] triples, sorted.  A
+    process appears here from {!suspend} until its wake fires — the raw
+    material of the {!Hung} diagnostic, exposed for supervisors and
+    tests. *)
 
 val pending : t -> int
 (** Number of queued events, for diagnostics and tests. *)
@@ -129,3 +161,9 @@ val events_executed : t -> int
 exception Process_error of string * exn
 (** Wraps an exception escaping a process with a description of when it
     fired. *)
+
+exception Hung of string
+(** Raised by {!run} when the liveness watchdog trips ([deadline] or
+    [stall_limit]).  The payload is a human-readable diagnostic: virtual
+    time, why the watchdog fired, pending-event count, and the parked
+    processes that will never run again. *)

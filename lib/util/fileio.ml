@@ -1,0 +1,41 @@
+exception Io_error of string
+
+(* Crash-consistent file replacement: the content is written to a
+   sibling temp file, flushed, and renamed over the destination.  POSIX
+   rename is atomic within a filesystem, so a reader (or a crashed
+   writer) observes either the old complete file or the new complete
+   file — never a prefix.  ENOSPC, EACCES and friends surface as
+   [Io_error] with the path, so callers can map them to a distinct exit
+   code instead of leaving a truncated file behind. *)
+
+let write_atomic ~path f =
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         f oc;
+         flush oc)
+   with Sys_error msg ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise (Io_error (Printf.sprintf "cannot write %s: %s" path msg)));
+  try Sys.rename tmp path
+  with Sys_error msg ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise (Io_error (Printf.sprintf "cannot replace %s: %s" path msg))
+
+let read_lines path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec loop acc =
+          match input_line ic with
+          | line -> loop (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        loop [])
+  with Sys_error msg ->
+    raise (Io_error (Printf.sprintf "cannot read %s: %s" path msg))

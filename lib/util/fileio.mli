@@ -1,0 +1,20 @@
+(** Crash-consistent file I/O.
+
+    Every file ksurf writes that a later run depends on — checkpoints,
+    sweep journals, CSV exports, fault plans — goes through
+    {!write_atomic}: write to a sibling temp file, flush, atomically
+    rename over the destination.  A crash mid-write leaves the previous
+    complete file (or nothing), never a truncated one. *)
+
+exception Io_error of string
+(** An I/O failure (ENOSPC, permissions, missing directory, …) with the
+    affected path.  Raised instead of [Sys_error] so the CLI can map
+    file-system trouble to a distinct exit code. *)
+
+val write_atomic : path:string -> (out_channel -> unit) -> unit
+(** [write_atomic ~path f] runs [f] on a temp channel, flushes, and
+    renames the temp file to [path].  On failure the temp file is
+    removed and {!Io_error} raised; [path] is never left partial. *)
+
+val read_lines : string -> string list
+(** All lines of a file.  Raises {!Io_error} if unreadable. *)

@@ -35,6 +35,8 @@ let split t label =
 
 let copy t = { state = t.state; seed = t.seed }
 let seed_of t = t.seed
+let save t = (t.state, t.seed)
+let restore ~state ~seed = { state; seed }
 
 let int t n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";
