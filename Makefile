@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test analyze-smoke inject-smoke specialize-smoke soak check clean
+.PHONY: all build test analyze-smoke inject-smoke specialize-smoke soak bench-json check clean
 
 all: build
 
@@ -35,6 +35,13 @@ specialize-smoke:
 # must replay bit-identically; exits nonzero on any divergence.
 soak:
 	dune exec bin/ksurf_cli.exe -- recover --seed 42 --soak
+
+# kpar throughput scan: the quick-scale dose sweep at jobs 1/2/4/8,
+# cells/sec per worker count plus a stable hash of each rendered
+# result, written to BENCH_kpar.json.  Exits nonzero if any job count
+# produces output that differs from jobs=1 — the determinism gate.
+bench-json:
+	dune exec bench/main.exe -- sweep quick
 
 check: build test analyze-smoke inject-smoke specialize-smoke soak
 

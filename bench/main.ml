@@ -5,57 +5,63 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table2     # one experiment
      dune exec bench/main.exe micro      # microbenchmarks only
+     dune exec bench/main.exe sweep quick  # kpar throughput scan
 
    A second argument "quick" switches the experiments to the fast
-   smoke-scale used by tests. *)
+   smoke-scale used by tests; "--jobs N" sets the sweep worker count
+   (default: KSURF_JOBS or the machine's recommended domain count
+   minus one). *)
 
 module E = Ksurf.Experiments
 
+(* Monotonic, not [Unix.gettimeofday]: an NTP step mid-benchmark would
+   otherwise corrupt the reported durations and BENCH_kpar.json. *)
 let timed name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ksurf.Clock.now_s () in
   let r = f () in
-  Format.printf "@.[%s took %.1fs]@.@." name (Unix.gettimeofday () -. t0);
+  Format.printf "@.[%s took %.1fs]@.@." name (Ksurf.Clock.elapsed_s ~since:t0);
   r
 
 (* ------------------------------------------------------------------ *)
 (* Experiment harnesses: one per table/figure.                         *)
 
-let table1 ~seed:_ ~scale:_ ~corpus:_ =
+let table1 ~seed:_ ~scale:_ ~corpus:_ ~pool:_ =
   Format.printf "%a@." E.Table1.pp (E.Table1.run ())
 
-let table2 ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Table2.pp (E.Table2.run ~seed ~scale ~corpus ())
+let table2 ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Table2.pp (E.Table2.run ~seed ~scale ~corpus ~pool ())
 
-let fig2 ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Fig2.pp (E.Fig2.run ~seed ~scale ~corpus ())
+let fig2 ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Fig2.pp (E.Fig2.run ~seed ~scale ~corpus ~pool ())
 
-let table3 ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Table3.pp (E.Table3.run ~seed ~scale ~corpus ())
+let table3 ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Table3.pp (E.Table3.run ~seed ~scale ~corpus ~pool ())
 
-let fig3 ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Fig3.pp (E.Fig3.run ~seed ~scale ~corpus ())
+let fig3 ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Fig3.pp (E.Fig3.run ~seed ~scale ~corpus ~pool ())
 
-let fig4 ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Fig4.pp (E.Fig4.run ~seed ~scale ~corpus ())
+let fig4 ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Fig4.pp (E.Fig4.run ~seed ~scale ~corpus ~pool ())
 
-let ablate ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Ablate.pp (E.Ablate.run ~seed ~scale ~corpus ())
+let ablate ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Ablate.pp (E.Ablate.run ~seed ~scale ~corpus ~pool ())
 
-let locks ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Locks.pp (E.Locks.run ~seed ~scale ~corpus ())
+let locks ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Locks.pp (E.Locks.run ~seed ~scale ~corpus ~pool ())
 
-let lwvm ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Lwvm.pp (E.Lwvm.run ~seed ~scale ~corpus ())
+let lwvm ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Lwvm.pp (E.Lwvm.run ~seed ~scale ~corpus ~pool ())
 
-let ablate_virt ~seed ~scale ~corpus =
+let ablate_virt ~seed ~scale ~corpus ~pool =
   Format.printf "%a@." E.Ablate_virt.pp
-    (E.Ablate_virt.run ~seed ~scale ~corpus ())
+    (E.Ablate_virt.run ~seed ~scale ~corpus ~pool ())
 
-let dose ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Dose.pp (E.Dose.run ~seed ~scale ~corpus ())
+let dose ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Dose.pp (E.Dose.run ~seed ~scale ~corpus ~pool ())
 
-let specialize ~seed ~scale ~corpus =
-  Format.printf "%a@." E.Specialize.pp (E.Specialize.run ~seed ~scale ~corpus ())
+let specialize ~seed ~scale ~corpus ~pool =
+  Format.printf "%a@." E.Specialize.pp
+    (E.Specialize.run ~seed ~scale ~corpus ~pool ())
 
 let experiments =
   [
@@ -72,6 +78,81 @@ let experiments =
     ("dose", dose);
     ("specialize", specialize);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* kpar throughput scan: the dose sweep at increasing worker counts.   *)
+
+(* Runs the dose sweep once per jobs setting, measures cells/sec on the
+   monotonic clock, stable-hashes the rendered output to prove every
+   worker count produced the identical result, and writes the lot to
+   BENCH_kpar.json.  The speedup numbers are whatever this machine
+   gives (a single-core CI runner reports ~1.0x); the hash equality is
+   the hard claim. *)
+let run_sweep ~seed ~scale =
+  let corpus = E.default_corpus ~seed scale in
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun jobs ->
+        Ksurf.Pool.with_pool ~jobs (fun pool ->
+            let t0 = Ksurf.Clock.now_s () in
+            let t = E.Dose.run ~seed ~scale ~corpus ~pool () in
+            let seconds = Ksurf.Clock.elapsed_s ~since:t0 in
+            let cells = List.length t.E.Dose.cells in
+            let hash =
+              Ksurf.Stable_hash.string (Format.asprintf "%a" E.Dose.pp t)
+            in
+            (jobs, cells, seconds, hash)))
+      job_counts
+  in
+  let hash0 = match rows with (_, _, _, h) :: _ -> h | [] -> 0 in
+  let deterministic = List.for_all (fun (_, _, _, h) -> h = hash0) rows in
+  let base_rate =
+    match rows with
+    | (_, cells, seconds, _) :: _ when seconds > 0.0 ->
+        float_of_int cells /. seconds
+    | _ -> 0.0
+  in
+  Format.printf "kpar sweep throughput (dose sweep, seed=%d):@." seed;
+  List.iter
+    (fun (jobs, cells, seconds, hash) ->
+      let rate = if seconds > 0.0 then float_of_int cells /. seconds else 0.0 in
+      Format.printf
+        "  jobs=%d  %d cells in %.2fs  (%.2f cells/s, %.2fx, hash %08x)@."
+        jobs cells seconds rate
+        (if base_rate > 0.0 then rate /. base_rate else 0.0)
+        hash)
+    rows;
+  Format.printf "  outputs across job counts: %s@."
+    (if deterministic then "bit-identical" else "DIVERGENT");
+  let json =
+    let row_json (jobs, cells, seconds, hash) =
+      let rate = if seconds > 0.0 then float_of_int cells /. seconds else 0.0 in
+      Printf.sprintf
+        "    { \"jobs\": %d, \"cells\": %d, \"seconds\": %.6f, \
+         \"cells_per_sec\": %.3f, \"speedup\": %.3f, \"output_hash\": \
+         \"%08x\" }"
+        jobs cells seconds rate
+        (if base_rate > 0.0 then rate /. base_rate else 0.0)
+        hash
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"kpar-dose-sweep\",\n\
+      \  \"seed\": %d,\n\
+      \  \"scale\": %S,\n\
+      \  \"deterministic_across_jobs\": %b,\n\
+      \  \"rows\": [\n%s\n  ]\n\
+       }\n"
+      seed
+      (match scale with E.Quick -> "quick" | E.Full -> "full")
+      deterministic
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  Ksurf.Fileio.write_atomic ~path:"BENCH_kpar.json" (fun oc ->
+      output_string oc json);
+  Format.printf "  wrote BENCH_kpar.json@.";
+  if not deterministic then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator core.                     *)
@@ -199,19 +280,34 @@ let () =
     else if List.mem "full" args then E.Full
     else E.Full
   in
+  (* "--jobs N": worker domains for the experiment sweeps. *)
+  let rec parse_jobs = function
+    | [] -> (None, [])
+    | ("--jobs" | "-j") :: n :: rest ->
+        let _, kept = parse_jobs rest in
+        (Some (max 1 (int_of_string n)), kept)
+    | a :: rest ->
+        let jobs, kept = parse_jobs rest in
+        (jobs, a :: kept)
+  in
+  let jobs, args = parse_jobs args in
   let selected = List.filter (fun a -> a <> "quick" && a <> "full") args in
   let seed = 42 in
-  let wants name =
-    selected = [] || List.mem name selected || List.mem "all" selected
+  let wants name = selected = [] || List.mem name selected in
+  let wants_exp name = wants name || List.mem "all" selected in
+  let any_experiment =
+    List.exists (fun (name, _) -> wants_exp name) experiments
   in
-  let any_experiment = List.exists (fun (name, _) -> wants name) experiments in
-  if any_experiment then begin
-    let corpus =
-      timed "corpus generation" (fun () -> E.default_corpus ~seed scale)
-    in
-    List.iter
-      (fun (name, run) ->
-        if wants name then timed name (fun () -> run ~seed ~scale ~corpus))
-      experiments
-  end;
+  if any_experiment then
+    Ksurf.Pool.with_pool ?jobs (fun pool ->
+        let corpus =
+          timed "corpus generation" (fun () -> E.default_corpus ~seed scale)
+        in
+        List.iter
+          (fun (name, run) ->
+            if wants_exp name then
+              timed name (fun () -> run ~seed ~scale ~corpus ~pool))
+          experiments);
+  if List.mem "sweep" selected then
+    timed "sweep" (fun () -> run_sweep ~seed ~scale);
   if wants "micro" then timed "micro" run_micro

@@ -29,11 +29,27 @@ let scale_arg =
   in
   Arg.(value & opt scale_conv E.Quick & info [ "scale" ] ~docv:"SCALE" ~doc)
 
+(* Monotonic, not [Unix.gettimeofday]: an NTP step mid-experiment would
+   otherwise corrupt (even negate) the reported duration. *)
 let timed name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ksurf.Clock.now_s () in
   let result = f () in
-  Logs.info (fun m -> m "%s finished in %.1fs" name (Unix.gettimeofday () -. t0));
+  Logs.info (fun m ->
+      m "%s finished in %.1fs" name (Ksurf.Clock.elapsed_s ~since:t0));
   result
+
+(* --- parallel sweeps --------------------------------------------------- *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for sweep cells.  Results merge in canonical order, \
+     so any $(docv) produces bit-identical output; defaults to the \
+     machine's recommended domain count minus one."
+  in
+  let env = Cmd.Env.info "KSURF_JOBS" ~doc in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
+
+let with_pool jobs f = Ksurf.Pool.with_pool ?jobs f
 
 (* --- resumable sweeps ------------------------------------------------- *)
 
@@ -58,7 +74,7 @@ let journal_of path resume =
   | None -> None
   | Some p ->
       if (not resume) && Sys.file_exists p then Sys.remove p;
-      Some (Ksurf.Recov_journal.load ~path:p)
+      Some (Ksurf.Recov_journal.load ~path:p ())
 
 (* --- corpus ---------------------------------------------------------- *)
 
@@ -429,7 +445,7 @@ let inject_cmd =
    lockdep + invariants attached to the first run; a policy denial (the
    allowlist matches the corpus, so any denial is a wiring bug), a
    replay divergence or any sanitizer finding exits nonzero. *)
-let specialize seed scale smoke export_dir journal_path resume () =
+let specialize seed scale smoke export_dir journal_path resume jobs () =
   let module A = Ksurf.Analysis in
   if smoke then begin
     let corpus =
@@ -524,7 +540,9 @@ let specialize seed scale smoke export_dir journal_path resume () =
   else begin
     let journal = journal_of journal_path resume in
     let t =
-      timed "specialize" (fun () -> E.Specialize.run ~seed ~scale ?journal ())
+      with_pool jobs (fun pool ->
+          timed "specialize" (fun () ->
+              E.Specialize.run ~seed ~scale ?journal ~pool ()))
     in
     Format.printf "%a@." E.Specialize.pp t;
     match export_dir with
@@ -558,13 +576,16 @@ let specialize_cmd =
           on the same fs-restricted workload")
     Term.(
       const specialize $ seed_arg $ scale_arg $ smoke $ export_dir
-      $ journal_arg $ resume_arg $ logs_term)
+      $ journal_arg $ resume_arg $ jobs_arg $ logs_term)
 
 (* --- experiments ------------------------------------------------------ *)
 
 let experiment_cmd name ~doc run =
-  let go seed scale () = timed name (fun () -> run ~seed ~scale) in
-  Cmd.v (Cmd.info name ~doc) Term.(const go $ seed_arg $ scale_arg $ logs_term)
+  let go seed scale jobs () =
+    with_pool jobs (fun pool -> timed name (fun () -> run ~seed ~scale ~pool))
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const go $ seed_arg $ scale_arg $ jobs_arg $ logs_term)
 
 let table1_cmd =
   let go () () = Format.printf "%a@." E.Table1.pp (E.Table1.run ()) in
@@ -574,59 +595,62 @@ let table1_cmd =
 
 let table2_cmd =
   experiment_cmd "table2" ~doc:"Syscall latency breakdown (Table 2)"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Table2.pp (E.Table2.run ~seed ~scale ()))
+    (fun ~seed ~scale ~pool ->
+      Format.printf "%a@." E.Table2.pp (E.Table2.run ~seed ~scale ~pool ()))
 
 let fig2_cmd =
   experiment_cmd "fig2" ~doc:"Per-subsystem p99 vs VM count (Figure 2)"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Fig2.pp (E.Fig2.run ~seed ~scale ()))
+    (fun ~seed ~scale ~pool ->
+      Format.printf "%a@." E.Fig2.pp (E.Fig2.run ~seed ~scale ~pool ()))
 
 let table3_cmd =
   experiment_cmd "table3" ~doc:"Container worst-case breakdown (Table 3)"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Table3.pp (E.Table3.run ~seed ~scale ()))
+    (fun ~seed ~scale ~pool ->
+      Format.printf "%a@." E.Table3.pp (E.Table3.run ~seed ~scale ~pool ()))
 
 let fig3_cmd =
   experiment_cmd "fig3" ~doc:"Single-node tail latency (Figure 3)"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Fig3.pp (E.Fig3.run ~seed ~scale ()))
+    (fun ~seed ~scale ~pool ->
+      Format.printf "%a@." E.Fig3.pp (E.Fig3.run ~seed ~scale ~pool ()))
 
 let fig4_cmd =
   experiment_cmd "fig4" ~doc:"64-node BSP runtimes (Figure 4)"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Fig4.pp (E.Fig4.run ~seed ~scale ()))
+    (fun ~seed ~scale ~pool ->
+      Format.printf "%a@." E.Fig4.pp (E.Fig4.run ~seed ~scale ~pool ()))
 
 let ablate_cmd =
   experiment_cmd "ablate" ~doc:"E7: variability-mechanism knockouts"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Ablate.pp (E.Ablate.run ~seed ~scale ()))
+    (fun ~seed ~scale ~pool ->
+      Format.printf "%a@." E.Ablate.pp (E.Ablate.run ~seed ~scale ~pool ()))
 
 let ablate_virt_cmd =
   experiment_cmd "ablate-virt" ~doc:"E8: exit-cost sensitivity sweep"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Ablate_virt.pp (E.Ablate_virt.run ~seed ~scale ()))
+    (fun ~seed ~scale ~pool ->
+      Format.printf "%a@." E.Ablate_virt.pp (E.Ablate_virt.run ~seed ~scale ~pool ()))
 
 let lwvm_cmd =
   experiment_cmd "lwvm" ~doc:"E9: lightweight-VM technology comparison"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Lwvm.pp (E.Lwvm.run ~seed ~scale ()))
+    (fun ~seed ~scale ~pool ->
+      Format.printf "%a@." E.Lwvm.pp (E.Lwvm.run ~seed ~scale ~pool ()))
 
 let locks_cmd =
   experiment_cmd "locks" ~doc:"E10: per-lock contention attribution"
-    (fun ~seed ~scale ->
-      Format.printf "%a@." E.Locks.pp (E.Locks.run ~seed ~scale ()))
+    (fun ~seed ~scale ~pool ->
+      Format.printf "%a@." E.Locks.pp (E.Locks.run ~seed ~scale ~pool ()))
 
 let dose_cmd =
-  let go seed scale journal_path resume () =
+  let go seed scale journal_path resume jobs () =
     let journal = journal_of journal_path resume in
-    timed "dose" (fun () ->
-        Format.printf "%a@." E.Dose.pp (E.Dose.run ~seed ~scale ?journal ()))
+    with_pool jobs (fun pool ->
+        timed "dose" (fun () ->
+            Format.printf "%a@." E.Dose.pp
+              (E.Dose.run ~seed ~scale ?journal ~pool ())))
   in
   Cmd.v
     (Cmd.info "dose" ~doc:"Dose-response: fault-intensity sensitivity sweep")
     Term.(
-      const go $ seed_arg $ scale_arg $ journal_arg $ resume_arg $ logs_term)
+      const go $ seed_arg $ scale_arg $ journal_arg $ resume_arg $ jobs_arg
+      $ logs_term)
 
 (* --- recover ----------------------------------------------------------- *)
 
@@ -635,7 +659,7 @@ let dose_cmd =
    chaos gate for `make check`/CI: every policy must survive the
    "crashy" preset plus random crashes without wedging, and a run
    killed mid-sweep must resume from its checkpoint bit-identically. *)
-let recover seed scale soak export_dir journal_path resume () =
+let recover seed scale soak export_dir journal_path resume jobs () =
   let module S = Ksurf.Supervisor in
   if soak then begin
     let corpus =
@@ -741,7 +765,11 @@ let recover seed scale soak export_dir journal_path resume () =
   end
   else begin
     let journal = journal_of journal_path resume in
-    let t = timed "recover" (fun () -> E.Recover.run ~seed ~scale ?journal ()) in
+    let t =
+      with_pool jobs (fun pool ->
+          timed "recover" (fun () ->
+              E.Recover.run ~seed ~scale ?journal ~pool ()))
+    in
     Format.printf "%a@." E.Recover.pp t;
     match export_dir with
     | None -> ()
@@ -776,22 +804,25 @@ let recover_cmd =
           64-node BSP synthesis")
     Term.(
       const recover $ seed_arg $ scale_arg $ soak $ export_dir $ journal_arg
-      $ resume_arg $ logs_term)
+      $ resume_arg $ jobs_arg $ logs_term)
 
 let all_cmd =
   experiment_cmd "all" ~doc:"Run every experiment in sequence"
-    (fun ~seed ~scale ->
+    (fun ~seed ~scale ~pool ->
       let corpus = E.default_corpus ~seed scale in
       Format.printf "%a@.@." E.Table1.pp (E.Table1.run ());
-      Format.printf "%a@.@." E.Table2.pp (E.Table2.run ~seed ~scale ~corpus ());
-      Format.printf "%a@.@." E.Fig2.pp (E.Fig2.run ~seed ~scale ~corpus ());
-      Format.printf "%a@.@." E.Table3.pp (E.Table3.run ~seed ~scale ~corpus ());
-      Format.printf "%a@.@." E.Fig3.pp (E.Fig3.run ~seed ~scale ~corpus ());
-      Format.printf "%a@.@." E.Fig4.pp (E.Fig4.run ~seed ~scale ~corpus ());
-      Format.printf "%a@.@." E.Ablate.pp (E.Ablate.run ~seed ~scale ~corpus ());
+      Format.printf "%a@.@." E.Table2.pp
+        (E.Table2.run ~seed ~scale ~corpus ~pool ());
+      Format.printf "%a@.@." E.Fig2.pp (E.Fig2.run ~seed ~scale ~corpus ~pool ());
+      Format.printf "%a@.@." E.Table3.pp
+        (E.Table3.run ~seed ~scale ~corpus ~pool ());
+      Format.printf "%a@.@." E.Fig3.pp (E.Fig3.run ~seed ~scale ~corpus ~pool ());
+      Format.printf "%a@.@." E.Fig4.pp (E.Fig4.run ~seed ~scale ~corpus ~pool ());
+      Format.printf "%a@.@." E.Ablate.pp
+        (E.Ablate.run ~seed ~scale ~corpus ~pool ());
       Format.printf "%a@.@." E.Ablate_virt.pp
-        (E.Ablate_virt.run ~seed ~scale ~corpus ());
-      Format.printf "%a@." E.Lwvm.pp (E.Lwvm.run ~seed ~scale ~corpus ()))
+        (E.Ablate_virt.run ~seed ~scale ~corpus ~pool ());
+      Format.printf "%a@." E.Lwvm.pp (E.Lwvm.run ~seed ~scale ~corpus ~pool ()))
 
 let main_cmd =
   let doc =

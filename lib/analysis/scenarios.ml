@@ -25,6 +25,7 @@ type t =
   | Faulted_tailbench
   | Specialized_varbench
   | Recovered_bsp
+  | Parallel_sweep
 
 let all =
   [
@@ -36,6 +37,7 @@ let all =
     Faulted_tailbench;
     Specialized_varbench;
     Recovered_bsp;
+    Parallel_sweep;
   ]
 
 let to_string = function
@@ -47,6 +49,7 @@ let to_string = function
   | Faulted_tailbench -> "faulted-tailbench"
   | Specialized_varbench -> "specialized-varbench"
   | Recovered_bsp -> "recovered-bsp"
+  | Parallel_sweep -> "parallel-sweep"
 
 let of_string = function
   | "varbench" -> Some Varbench
@@ -57,6 +60,7 @@ let of_string = function
   | "faulted-tailbench" -> Some Faulted_tailbench
   | "specialized-varbench" -> Some Specialized_varbench
   | "recovered-bsp" -> Some Recovered_bsp
+  | "parallel-sweep" -> Some Parallel_sweep
   | _ -> None
 
 (* Scenarios the sanitizers must pass on; [Inversion] is the negative
@@ -72,6 +76,7 @@ let stock =
     Faulted_tailbench;
     Specialized_varbench;
     Recovered_bsp;
+    Parallel_sweep;
   ]
 
 let small_corpus ~seed =
@@ -264,6 +269,60 @@ let run_recovered_bsp ~seed ~on_engine =
     (Cluster.run ~app:(app ()) ~kind:Env.Native ~contended:false ~config
        ~on_engine ~recovery ~plan:(fault_plan ()) ())
 
+(* Parallel-sweep variant: a mini sweep of independent varbench cells
+   fanned across a domain pool, every completed cell funnelled through
+   one mutex-guarded journal — the single-writer discipline the kpar
+   sweeps rely on.  Sanitizer probes are not thread-safe, so the
+   parallel phase runs unobserved; the journal is then reloaded and
+   verified (every cell recorded exactly once, batched persists
+   included), and one cell re-runs sequentially under [on_engine] so
+   the sanitizers still see a full event stream.  Any journal
+   discrepancy raises, which [ksurf_cli analyze] reports as a failed
+   scenario. *)
+let run_parallel_sweep ~seed ~on_engine =
+  let module Pool = Ksurf_par.Pool in
+  let module Journal = Ksurf_recov.Journal in
+  let cell ~observe i =
+    let cell_seed = seed + (31 * i) in
+    let engine = Engine.create ~seed:cell_seed () in
+    if observe then on_engine engine;
+    let env =
+      Env.deploy ~engine Env.Native
+        (Partition.equal_split ~units:2 ~total_cores:8 ~total_mem_mb:8192)
+    in
+    let corpus = small_corpus ~seed:cell_seed in
+    ignore
+      (Harness.run ~env ~corpus
+         ~params:{ Harness.iterations = 2; warmup_iterations = 1 }
+         ())
+  in
+  let key i = Printf.sprintf "cell:%d" i in
+  let path = Filename.temp_file "ksurf-parsweep" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let journal = Journal.load ~flush_every:2 ~path () in
+      let cells = List.init 6 Fun.id in
+      Pool.with_pool ~jobs:4 (fun pool ->
+          ignore
+            (Pool.map ~pool
+               (fun i ->
+                 cell ~observe:false i;
+                 Journal.record journal (key i))
+               cells));
+      Journal.flush journal;
+      let reloaded = Journal.load ~path () in
+      List.iter
+        (fun i ->
+          if not (Journal.mem reloaded (key i)) then
+            failwith
+              (Printf.sprintf
+                 "parallel-sweep: cell %d missing from the journal" i))
+        cells;
+      if List.length (Journal.cells reloaded) <> List.length cells then
+        failwith "parallel-sweep: journal has duplicate or spurious cells");
+  cell ~observe:true 0
+
 let run t ~seed ~on_engine =
   match t with
   | Varbench -> run_varbench ~seed ~on_engine
@@ -274,3 +333,4 @@ let run t ~seed ~on_engine =
   | Faulted_tailbench -> run_faulted_tailbench ~seed ~on_engine
   | Specialized_varbench -> run_specialized_varbench ~seed ~on_engine
   | Recovered_bsp -> run_recovered_bsp ~seed ~on_engine
+  | Parallel_sweep -> run_parallel_sweep ~seed ~on_engine

@@ -11,7 +11,13 @@
     supervised BSP synthesis under the crashy plan with the Readmit
     policy — the invariant analyzer's rank-transition checks assert the
     failover choreography (legal detector edges only, each
-    Suspect -> Dead -> rejoin at most once per incident). *)
+    Suspect -> Dead -> rejoin at most once per incident) — plus a
+    [Parallel_sweep] variant fanning independent varbench cells across
+    a {!Ksurf_par.Pool} with every completed cell funnelled through one
+    mutex-guarded {!Ksurf_recov.Journal} (the parallel phase runs
+    unobserved because probes are not thread-safe; the journal is
+    verified on reload and one cell re-runs sequentially under
+    [on_engine] for the sanitizers). *)
 
 type t =
   | Varbench
@@ -22,6 +28,7 @@ type t =
   | Faulted_tailbench
   | Specialized_varbench
   | Recovered_bsp
+  | Parallel_sweep
 
 val all : t list
 

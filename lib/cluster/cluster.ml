@@ -197,12 +197,23 @@ let simulate_node ~app ~kind ~contended ~config ~noise_corpus ~node_seed
     node_dropped = !dropped;
   }
 
-let simulate_nodes ~app ~kind ~contended ~config ~noise_corpus ~on_engine
+(* Each node simulation is self-contained (own engine, own PRNG stream
+   derived from [seed + node * 7919]), so the replica pool can fan nodes
+   across domains; [Pool.map] returns results in node order, keeping the
+   pooled durations bit-identical to the sequential run.  Callers that
+   attach non-thread-safe observers ([on_engine]/[on_env], e.g. the
+   sanitizers' probes) must not pass [par]. *)
+let simulate_nodes ~par ~app ~kind ~contended ~config ~noise_corpus ~on_engine
     ~on_env =
-  List.init config.nodes_simulated (fun node ->
-      simulate_node ~app ~kind ~contended ~config ~noise_corpus
-        ~node_seed:(config.seed + (node * 7919))
-        ~on_engine ~on_env)
+  let cell node =
+    simulate_node ~app ~kind ~contended ~config ~noise_corpus
+      ~node_seed:(config.seed + (node * 7919))
+      ~on_engine ~on_env
+  in
+  let nodes = List.init config.nodes_simulated Fun.id in
+  match par with
+  | Some pool -> Ksurf_par.Pool.map ~pool cell nodes
+  | None -> List.map cell nodes
 
 let default_noise_corpus ~contended noise_corpus =
   match noise_corpus with
@@ -235,21 +246,21 @@ let barrier_cost_for ~kind ~nodes_total =
    nodes. *)
 let pool ~app ~kind ~contended ?(config = default_config) ?noise_corpus
     ?(on_engine = fun (_ : Engine.t) -> ())
-    ?(on_env = fun (_ : Env.t) -> ()) () =
+    ?(on_env = fun (_ : Env.t) -> ()) ?par () =
   if config.nodes_simulated < 1 then invalid_arg "Cluster.pool: need >= 1 node";
   let noise_corpus = default_noise_corpus ~contended noise_corpus in
   let nodes =
-    simulate_nodes ~app ~kind ~contended ~config ~noise_corpus ~on_engine
+    simulate_nodes ~par ~app ~kind ~contended ~config ~noise_corpus ~on_engine
       ~on_env
   in
   Array.concat (List.map (fun n -> n.durations) nodes)
 
 let run ~app ~kind ~contended ?(config = default_config) ?noise_corpus
     ?(on_engine = fun (_ : Engine.t) -> ())
-    ?(on_env = fun (_ : Env.t) -> ()) ?recovery ?plan ?resume_from () =
+    ?(on_env = fun (_ : Env.t) -> ()) ?recovery ?plan ?resume_from ?par () =
   if config.nodes_simulated < 1 then invalid_arg "Cluster.run: need >= 1 node";
   let noise_corpus = default_noise_corpus ~contended noise_corpus in
-  let nodes = simulate_nodes ~app ~kind ~contended ~config ~noise_corpus
+  let nodes = simulate_nodes ~par ~app ~kind ~contended ~config ~noise_corpus
       ~on_engine ~on_env in
   let pool = Array.concat (List.map (fun n -> n.durations) nodes) in
   let sum f = List.fold_left (fun acc n -> acc + f n) 0 nodes in

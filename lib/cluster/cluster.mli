@@ -65,11 +65,16 @@ val pool :
   ?noise_corpus:Ksurf_syzgen.Corpus.t ->
   ?on_engine:(Ksurf_sim.Engine.t -> unit) ->
   ?on_env:(Ksurf_env.Env.t -> unit) ->
+  ?par:Ksurf_par.Pool.t ->
   unit ->
   float array
 (** Just the pooled per-iteration durations from the simulated nodes —
     for callers (e.g. the recovery study) that sweep many supervised
-    syntheses over one set of node simulations. *)
+    syntheses over one set of node simulations.  [par] fans the node
+    simulations across a worker pool; each node is a self-contained
+    engine with its own seed, and results merge in node order, so the
+    pool is bit-identical to the sequential one.  Do not pass [par]
+    together with non-thread-safe [on_engine]/[on_env] observers. *)
 
 val barrier_cost_for : kind:Ksurf_env.Env.kind -> nodes_total:int -> float
 (** The per-iteration global barrier cost the synthesis charges:
@@ -87,6 +92,7 @@ val run :
   ?recovery:Ksurf_recov.Supervisor.config ->
   ?plan:Ksurf_fault.Plan.t ->
   ?resume_from:string ->
+  ?par:Ksurf_par.Pool.t ->
   unit ->
   result
 (** One cell of Figure 4.  [on_engine] is called on each engine (node
@@ -101,7 +107,8 @@ val run :
     feeds its rank crashes in, [resume_from] restarts from a checkpoint,
     and the geometry fields of the recovery config (nodes, iterations,
     barrier cost, seed) are taken from [config].  Deterministic for a
-    given seed either way. *)
+    given seed either way; [par] parallelises the node simulations
+    (see {!pool}). *)
 
 val relative_loss : isolated:result -> contended:result -> float
 (** Figure 4(c): percent runtime increase from isolated to contended. *)

@@ -34,9 +34,13 @@ let harness_params = function
 
 let kvm_kind = Env.Kvm Ksurf_virt.Virt_config.default
 
+module Pool = Ksurf_par.Pool
+
 (* Resumable sweeps: a cell whose key is already journalled is skipped
    (omitted from the result); a freshly computed cell is journalled the
-   moment it completes, so a crash mid-sweep loses at most one cell. *)
+   moment it completes.  The journal batches persists internally, so a
+   crash mid-sweep loses at most a handful of cells — recomputed on
+   resume. *)
 let journal_done journal key =
   match journal with
   | Some j -> Ksurf_recov.Journal.mem j key
@@ -46,6 +50,46 @@ let journal_record journal key =
   match journal with
   | Some j -> Ksurf_recov.Journal.record j key
   | None -> ()
+
+let journal_flush journal =
+  match journal with
+  | Some j -> Ksurf_recov.Journal.flush j
+  | None -> ()
+
+(* The shared sweep skeleton every study runs on: a list of
+   self-contained cells, one function from cell to result, and an
+   ordered merge.  With [pool], cells fan out across domains;
+   [Pool.map] hands results back in canonical input order, so every
+   downstream rendering (tables, CSV exports, stable hashes) is
+   bit-identical to the sequential run — cells never share mutable
+   state (each builds its own engine and PRNG stream from the seed).
+
+   Journalling composes: already-journalled cells are filtered out
+   before the fan-out, each remaining cell is recorded the moment it
+   completes (the journal is the mutex-guarded single writer, so
+   parallel completions serialise there), and the journal is flushed
+   when the sweep ends. *)
+module Sweep = struct
+  let map ?pool f cells =
+    match pool with
+    | Some pool -> Pool.map ~pool f cells
+    | None -> List.map f cells
+
+  let run ?pool ?journal ~key f cells =
+    let todo = List.filter (fun c -> not (journal_done journal (key c))) cells in
+    let results =
+      Fun.protect
+        ~finally:(fun () -> journal_flush journal)
+        (fun () ->
+          map ?pool
+            (fun c ->
+              let r = f c in
+              journal_record journal (key c);
+              r)
+            todo)
+    in
+    results
+end
 
 let run_varbench ?kernel_config ~seed ~scale ~corpus kind partition =
   let engine = Engine.create ~seed () in
@@ -88,28 +132,34 @@ module Table2 = struct
 
   let envs = [ ("native", Env.Native, 1); ("kvm-64", kvm_kind, 64); ("docker-64", Env.Docker, 64) ]
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
-    let invocations = ref 0 in
-    let rows =
-      List.map
+    let cells =
+      Sweep.map ?pool
         (fun (name, kind, units) ->
           let result =
             run_varbench ~seed ~scale ~corpus kind (Partition.table1 units)
           in
-          invocations := Harness.total_invocations result;
           let stats = Study.site_stats result in
-          {
-            env = name;
-            median = Study.bucket_row Study.Median stats;
-            p99 = Study.bucket_row Study.P99 stats;
-            max = Study.bucket_row Study.Max stats;
-          })
+          ( {
+              env = name;
+              median = Study.bucket_row Study.Median stats;
+              p99 = Study.bucket_row Study.P99 stats;
+              max = Study.bucket_row Study.Max stats;
+            },
+            Harness.total_invocations result ))
         envs
     in
-    { rows; corpus_calls = Corpus.total_calls corpus; invocations_per_env = !invocations }
+    let invocations_per_env =
+      match List.rev cells with (_, n) :: _ -> n | [] -> 0
+    in
+    {
+      rows = List.map fst cells;
+      corpus_calls = Corpus.total_calls corpus;
+      invocations_per_env;
+    }
 
   let pp ppf t =
     Format.fprintf ppf
@@ -137,7 +187,7 @@ module Fig2 = struct
 
   let vm_counts = Partition.table1_rows
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus ?kernel_config () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?kernel_config ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
@@ -149,23 +199,24 @@ module Fig2 = struct
     (* The paper filters to call sites whose native median is >= 10 us. *)
     let native = stats_of Env.Native 1 in
     let cells =
-      List.concat_map
-        (fun vms ->
-          let stats = stats_of kvm_kind vms in
-          let filtered =
-            Study.filter_by_native_median ~native ~min_median:10_000.0 stats
-          in
-          List.map
-            (fun category ->
-              {
-                vms;
-                category;
-                violin =
-                  Study.category_violin ~label:(Printf.sprintf "%dvm" vms)
-                    category filtered;
-              })
-            Category.all)
-        vm_counts
+      List.concat
+        (Sweep.map ?pool
+           (fun vms ->
+             let stats = stats_of kvm_kind vms in
+             let filtered =
+               Study.filter_by_native_median ~native ~min_median:10_000.0 stats
+             in
+             List.map
+               (fun category ->
+                 {
+                   vms;
+                   category;
+                   violin =
+                     Study.category_violin ~label:(Printf.sprintf "%dvm" vms)
+                       category filtered;
+                 })
+               Category.all)
+           vm_counts)
     in
     let filtered_sites =
       Array.length
@@ -207,12 +258,12 @@ module Table3 = struct
 
   type t = { rows : row list }
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
     let rows =
-      List.map
+      Sweep.map ?pool
         (fun containers ->
           let stats =
             Study.site_stats
@@ -243,23 +294,26 @@ module Fig3 = struct
     | Quick -> { Runner.default_config with Runner.requests = 800; seed }
     | Full -> { Runner.default_config with Runner.seed = seed }
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus ?(apps = Apps.all) () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?(apps = Apps.all) ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
     let config = runner_config ~seed scale in
-    let cells =
+    let specs =
       List.concat_map
         (fun app ->
           List.concat_map
             (fun kind ->
-              List.map
-                (fun contended ->
-                  Runner.run_single_node ~app ~kind ~contended ~config
-                    ~noise_corpus:corpus ())
-                [ false; true ])
+              List.map (fun contended -> (app, kind, contended)) [ false; true ])
             [ kvm_kind; Env.Docker ])
         apps
+    in
+    let cells =
+      Sweep.map ?pool
+        (fun (app, kind, contended) ->
+          Runner.run_single_node ~app ~kind ~contended ~config
+            ~noise_corpus:corpus ())
+        specs
     in
     { cells }
 
@@ -320,7 +374,7 @@ module Fig4 = struct
         }
     | Full -> { Cluster.default_config with Cluster.seed = seed }
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus ?apps () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?apps ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
@@ -330,18 +384,20 @@ module Fig4 = struct
       | None -> List.filter_map Apps.by_name paper_apps
     in
     let config = cluster_config ~seed scale in
-    let cells =
+    let specs =
       List.concat_map
         (fun app ->
           List.concat_map
             (fun kind ->
-              List.map
-                (fun contended ->
-                  Cluster.run ~app ~kind ~contended ~config
-                    ~noise_corpus:corpus ())
-                [ false; true ])
+              List.map (fun contended -> (app, kind, contended)) [ false; true ])
             [ kvm_kind; Env.Docker ])
         apps
+    in
+    let cells =
+      Sweep.map ?pool
+        (fun (app, kind, contended) ->
+          Cluster.run ~app ~kind ~contended ~config ~noise_corpus:corpus ())
+        specs
     in
     { cells }
 
@@ -404,12 +460,12 @@ module Ablate = struct
       ("all-off", C.quiet);
     ]
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
     let rows =
-      List.map
+      Sweep.map ?pool
         (fun (variant, kernel_config) ->
           let stats =
             Study.site_stats
@@ -456,12 +512,12 @@ module Lwvm = struct
         (fun (name, virt) -> (name ^ "-64", Env.Kvm virt, 64))
         Ksurf_virt.Lightweight.all
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
     let rows =
-      List.map
+      Sweep.map ?pool
         (fun (env, kind, units) ->
           let stats =
             Study.site_stats
@@ -511,13 +567,13 @@ module Locks = struct
   let environments =
     [ ("native", Env.Native, 1); ("kvm-8", kvm_kind, 8); ("kvm-64", kvm_kind, 64) ]
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
     let rows =
-      List.concat_map
-        (fun (env, kind, units) ->
+      List.concat
+        (Sweep.map ?pool (fun (env, kind, units) ->
           let engine = Engine.create ~seed () in
           let deployed = Env.deploy ~engine kind (Partition.table1 units) in
           ignore (Harness.run ~env:deployed ~corpus ~params:(harness_params scale) ());
@@ -562,7 +618,7 @@ module Locks = struct
                 :: rows)
             merged []
           |> List.sort (fun x y -> Float.compare y.contended_pct x.contended_pct))
-        environments
+           environments)
     in
     { rows }
 
@@ -598,7 +654,7 @@ module Ablate_virt = struct
 
   let scales = [ 1.0; 0.5; 0.25; 0.0 ]
 
-  let run ?(seed = 42) ?(scale = Quick) ?corpus ?apps () =
+  let run ?(seed = 42) ?(scale = Quick) ?corpus ?apps ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
@@ -608,31 +664,42 @@ module Ablate_virt = struct
       | None -> List.filter_map Apps.by_name [ "silo"; "sphinx" ]
     in
     let config = Fig4.cluster_config ~seed scale in
-    let rows =
-      List.concat_map
+    (* Two sweeps: one unscaled docker reference per app, then the
+       (app x exit-scale) KVM grid — splitting them keeps every cell
+       independent so both can fan out. *)
+    let dockers =
+      Sweep.map ?pool
         (fun app ->
-          let docker =
-            Cluster.run ~app ~kind:Env.Docker ~contended:true ~config
-              ~noise_corpus:corpus ()
-          in
-          List.map
-            (fun exit_scale ->
-              let virt =
-                Ksurf_virt.Virt_config.scale exit_scale
-                  Ksurf_virt.Virt_config.default
-              in
-              let kvm =
-                Cluster.run ~app ~kind:(Env.Kvm virt) ~contended:true ~config
-                  ~noise_corpus:corpus ()
-              in
-              {
-                app = app.Apps.name;
-                exit_scale;
-                kvm_runtime_ns = kvm.Cluster.runtime_ns;
-                docker_runtime_ns = docker.Cluster.runtime_ns;
-              })
-            scales)
+          Cluster.run ~app ~kind:Env.Docker ~contended:true ~config
+            ~noise_corpus:corpus ())
         apps
+    in
+    let docker_of = List.combine apps dockers in
+    let specs =
+      List.concat_map (fun app -> List.map (fun s -> (app, s)) scales) apps
+    in
+    let kvms =
+      Sweep.map ?pool
+        (fun (app, exit_scale) ->
+          let virt =
+            Ksurf_virt.Virt_config.scale exit_scale
+              Ksurf_virt.Virt_config.default
+          in
+          Cluster.run ~app ~kind:(Env.Kvm virt) ~contended:true ~config
+            ~noise_corpus:corpus ())
+        specs
+    in
+    let rows =
+      List.map2
+        (fun (app, exit_scale) (kvm : Cluster.result) ->
+          let docker = List.assq app docker_of in
+          {
+            app = app.Apps.name;
+            exit_scale;
+            kvm_runtime_ns = kvm.Cluster.runtime_ns;
+            docker_runtime_ns = docker.Cluster.runtime_ns;
+          })
+        specs kvms
     in
     { rows }
 
@@ -697,59 +764,56 @@ module Dose = struct
             (fun (s : Harness.site) -> Samples.to_array s.Harness.samples)
             result.Harness.sites))
 
+  let cell_key (env_name, _, _, intensity) =
+    Printf.sprintf "dose:%s:%.2f" env_name intensity
+
   let run ?(seed = 42) ?(scale = Full) ?corpus ?plan
-      ?(intensities = default_intensities) ?journal () =
+      ?(intensities = default_intensities) ?journal ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
     let plan = match plan with Some p -> p | None -> default_plan () in
-    let cells =
+    let specs =
       List.concat_map
         (fun (env_name, kind, units) ->
-          List.filter_map
-            (fun intensity ->
-              let key = Printf.sprintf "dose:%s:%.2f" env_name intensity in
-              if journal_done journal key then None
-              else begin
-              let engine = Engine.create ~seed () in
-              let env = Env.deploy ~engine kind (Partition.table1 units) in
-              let kf =
-                Kfault.arm ~env ~plan:(Plan.scale intensity plan) ~seed ()
-              in
-              let result =
-                Harness.run ~env ~corpus ~params:(harness_params scale) ()
-              in
-              Kfault.disarm kf;
-              let samples = all_samples result in
-              let n = Array.length samples in
-              let mean =
-                if n = 0 then 0.0
-                else Array.fold_left ( +. ) 0.0 samples /. float_of_int n
-              in
-              let var =
-                if n = 0 then 0.0
-                else
-                  Array.fold_left
-                    (fun acc x -> acc +. (((x -. mean) *. (x -. mean)) /. float_of_int n))
-                    0.0 samples
-              in
-              let cell =
-                {
-                  env = env_name;
-                  intensity;
-                  p99 = (if n = 0 then 0.0 else Quantile.p99 samples);
-                  cov = (if mean > 0.0 then sqrt var /. mean else 0.0);
-                  injections = Kfault.total_injections kf;
-                  retries = result.Harness.transient_retries;
-                  degraded = result.Harness.degraded;
-                  survivors = result.Harness.survivors;
-                }
-              in
-              journal_record journal key;
-              Some cell
-              end)
-            intensities)
+          List.map (fun i -> (env_name, kind, units, i)) intensities)
         environments
+    in
+    let cells =
+      Sweep.run ?pool ?journal ~key:cell_key
+        (fun (env_name, kind, units, intensity) ->
+          let engine = Engine.create ~seed () in
+          let env = Env.deploy ~engine kind (Partition.table1 units) in
+          let kf = Kfault.arm ~env ~plan:(Plan.scale intensity plan) ~seed () in
+          let result =
+            Harness.run ~env ~corpus ~params:(harness_params scale) ()
+          in
+          Kfault.disarm kf;
+          let samples = all_samples result in
+          let n = Array.length samples in
+          let mean =
+            if n = 0 then 0.0
+            else Array.fold_left ( +. ) 0.0 samples /. float_of_int n
+          in
+          let var =
+            if n = 0 then 0.0
+            else
+              Array.fold_left
+                (fun acc x ->
+                  acc +. (((x -. mean) *. (x -. mean)) /. float_of_int n))
+                0.0 samples
+          in
+          {
+            env = env_name;
+            intensity;
+            p99 = (if n = 0 then 0.0 else Quantile.p99 samples);
+            cov = (if mean > 0.0 then sqrt var /. mean else 0.0);
+            injections = Kfault.total_injections kf;
+            retries = result.Harness.transient_retries;
+            degraded = result.Harness.degraded;
+            survivors = result.Harness.survivors;
+          })
+        specs
     in
     { plan_name = plan.Plan.name; cells }
 
@@ -877,7 +941,7 @@ module Specialize = struct
       surface_area = !surface /. float_of_int ranks;
     }
 
-  let run ?(seed = 42) ?(scale = Full) ?corpus ?journal () =
+  let run ?(seed = 42) ?(scale = Full) ?corpus ?journal ?pool () =
     let corpus = workload ~seed ~scale ?corpus () in
     let spec =
       Specializer.compile (Profile.of_corpus ~name:"varbench-fs" corpus)
@@ -889,15 +953,9 @@ module Specialize = struct
       measure ~name ~env (Harness.run ~env ~corpus ~params:(harness_params scale) ())
     in
     let rows =
-      List.filter_map
-        (fun (name, make) ->
-          let key = "specialize:" ^ name in
-          if journal_done journal key then None
-          else begin
-            let row = make () in
-            journal_record journal key;
-            Some row
-          end)
+      Sweep.run ?pool ?journal
+        ~key:(fun (name, _) -> "specialize:" ^ name)
+        (fun (_, make) -> make ())
         [
           ("native-64", fun () -> cell "native-64" Env.Native 1);
           (* "Per-tenant specialized kernels": a MultiK-style multikernel
@@ -981,7 +1039,7 @@ module Recover = struct
     [ Supervisor.Survivors; Supervisor.Readmit; Supervisor.Speculative ]
 
   let run ?(seed = 42) ?(scale = Full) ?corpus ?app ?(rates = default_rates)
-      ?journal () =
+      ?journal ?pool () =
     let corpus =
       match corpus with Some c -> c | None -> default_corpus ~seed scale
     in
@@ -995,10 +1053,11 @@ module Recover = struct
     in
     let cconfig = Fig4.cluster_config ~seed scale in
     (* One set of node simulations feeds every (policy x rate) cell: the
-       sweep varies only the supervision, never the empirical pool. *)
-    let pool =
+       sweep varies only the supervision, never the empirical pool.  The
+       node simulations themselves fan out across [pool]. *)
+    let iter_pool =
       Cluster.pool ~app ~kind:kvm_kind ~contended:false ~config:cconfig
-        ~noise_corpus:corpus ()
+        ~noise_corpus:corpus ?par:pool ()
     in
     let iterations =
       match scale with Quick -> 12 | Full -> cconfig.Cluster.iterations
@@ -1016,49 +1075,44 @@ module Recover = struct
         seed;
       }
     in
-    let cells =
+    let specs =
       List.concat_map
-        (fun policy ->
-          List.filter_map
-            (fun crash_rate ->
-              let key =
-                Printf.sprintf "recover:%s:%.4f"
-                  (Supervisor.policy_name policy)
-                  crash_rate
-              in
-              if journal_done journal key then None
-              else begin
-                let o =
-                  Supervisor.run ~pool
-                    ~config:{ base with Supervisor.policy; crash_rate }
-                    ()
-                in
-                let cell =
-                  {
-                    policy = o.Supervisor.policy;
-                    crash_rate;
-                    runtime_ns = o.Supervisor.runtime_ns;
-                    straggler_factor = o.Supervisor.straggler_factor;
-                    supersteps = o.Supervisor.supersteps;
-                    survivors = o.Supervisor.survivors;
-                    degraded = o.Supervisor.degraded;
-                    crashes = o.Supervisor.crashes;
-                    restarts = o.Supervisor.restarts;
-                    backups = o.Supervisor.backups;
-                    deaths = o.Supervisor.deaths;
-                    transitions = o.Supervisor.transitions;
-                    checkpoints = o.Supervisor.checkpoints;
-                  }
-                in
-                journal_record journal key;
-                Some cell
-              end)
-            rates)
+        (fun policy -> List.map (fun rate -> (policy, rate)) rates)
         policies
     in
-    let n = Array.length pool in
+    let cells =
+      Sweep.run ?pool ?journal
+        ~key:(fun (policy, crash_rate) ->
+          Printf.sprintf "recover:%s:%.4f"
+            (Supervisor.policy_name policy)
+            crash_rate)
+        (fun (policy, crash_rate) ->
+          let o =
+            Supervisor.run ~pool:iter_pool
+              ~config:{ base with Supervisor.policy; crash_rate }
+              ()
+          in
+          {
+            policy = o.Supervisor.policy;
+            crash_rate;
+            runtime_ns = o.Supervisor.runtime_ns;
+            straggler_factor = o.Supervisor.straggler_factor;
+            supersteps = o.Supervisor.supersteps;
+            survivors = o.Supervisor.survivors;
+            degraded = o.Supervisor.degraded;
+            crashes = o.Supervisor.crashes;
+            restarts = o.Supervisor.restarts;
+            backups = o.Supervisor.backups;
+            deaths = o.Supervisor.deaths;
+            transitions = o.Supervisor.transitions;
+            checkpoints = o.Supervisor.checkpoints;
+          })
+        specs
+    in
+    let n = Array.length iter_pool in
     let pool_mean_ns =
-      if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 pool /. float_of_int n
+      if n = 0 then 0.0
+      else Array.fold_left ( +. ) 0.0 iter_pool /. float_of_int n
     in
     { nodes = cconfig.Cluster.nodes_total; iterations; pool_mean_ns; cells }
 

@@ -4,7 +4,14 @@
     result plus a paper-style textual rendering.  [Quick] scale keeps
     everything under a few seconds for tests and smoke runs; [Full]
     scale is what the benchmark harness uses (minutes, larger corpora
-    and sample counts). *)
+    and sample counts).
+
+    Every sweep-shaped driver takes [?pool]: a {!Ksurf_par.Pool.t} fans
+    the sweep's cells across domains.  Cells are self-contained (each
+    builds its own engine and PRNG stream from [seed]) and results
+    merge in canonical input order, so the parallel run's output —
+    tables, CSV exports, stable hashes — is bit-identical to the
+    sequential one. *)
 
 type scale = Quick | Full
 
@@ -37,7 +44,7 @@ module Table2 : sig
   }
 
   val run :
-    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
 
   val pp : Format.formatter -> t -> unit
 end
@@ -58,7 +65,8 @@ module Fig2 : sig
 
   val run :
     ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
-    ?kernel_config:Ksurf_kernel.Config.t -> unit -> t
+    ?kernel_config:Ksurf_kernel.Config.t -> ?pool:Ksurf_par.Pool.t ->
+    unit -> t
 
   val pp : Format.formatter -> t -> unit
   (** Numeric violin table per category plus ASCII violins. *)
@@ -71,7 +79,7 @@ module Table3 : sig
   type t = { rows : row list }
 
   val run :
-    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
 
   val pp : Format.formatter -> t -> unit
 end
@@ -85,7 +93,7 @@ module Fig3 : sig
 
   val run :
     ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
-    ?apps:Ksurf_tailbench.Apps.t list -> unit -> t
+    ?apps:Ksurf_tailbench.Apps.t list -> ?pool:Ksurf_par.Pool.t -> unit -> t
 
   val cell : t -> app:string -> kind:string -> contended:bool ->
     Ksurf_tailbench.Runner.result option
@@ -105,7 +113,7 @@ module Fig4 : sig
 
   val run :
     ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
-    ?apps:Ksurf_tailbench.Apps.t list -> unit -> t
+    ?apps:Ksurf_tailbench.Apps.t list -> ?pool:Ksurf_par.Pool.t -> unit -> t
 
   val cell : t -> app:string -> kind:string -> contended:bool ->
     Ksurf_cluster.Cluster.result option
@@ -124,7 +132,7 @@ module Ablate : sig
   type t = { rows : row list }
 
   val run :
-    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
   (** Native 64-rank varbench under: default, no background daemons, no
       TLB shootdowns, no timer noise, all off. *)
 
@@ -146,7 +154,7 @@ module Lwvm : sig
   type t = { rows : row list }
 
   val run :
-    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
 
   val pp : Format.formatter -> t -> unit
 end
@@ -168,7 +176,7 @@ module Locks : sig
   type t = { rows : row list }
 
   val run :
-    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> unit -> t
+    ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
 
   val pp : Format.formatter -> t -> unit
   (** Sorted by contention within each environment; quiet locks
@@ -189,7 +197,7 @@ module Ablate_virt : sig
 
   val run :
     ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
-    ?apps:Ksurf_tailbench.Apps.t list -> unit -> t
+    ?apps:Ksurf_tailbench.Apps.t list -> ?pool:Ksurf_par.Pool.t -> unit -> t
 
   val pp : Format.formatter -> t -> unit
 end
@@ -219,12 +227,13 @@ module Dose : sig
   val run :
     ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
     ?plan:Ksurf_fault.Plan.t -> ?intensities:float list ->
-    ?journal:Ksurf_recov.Journal.t -> unit -> t
+    ?journal:Ksurf_recov.Journal.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
   (** One varbench run per (environment x intensity) cell; [plan]
       defaults to the ["mixed"] preset (every mechanism, no crashes).
       With [journal], cells already recorded (keys
       [dose:<env>:<intensity>]) are skipped and omitted from the result;
-      each completed cell is journalled immediately. *)
+      each completed cell is journalled as it completes (persisted in
+      batches, flushed when the sweep ends). *)
 
   val cell : t -> env:string -> intensity:float -> cell option
 
@@ -281,7 +290,7 @@ module Specialize : sig
 
   val run :
     ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
-    ?journal:Ksurf_recov.Journal.t -> unit -> t
+    ?journal:Ksurf_recov.Journal.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
   (** With [journal], environments already recorded (keys
       [specialize:<env>]) are skipped and omitted from the result. *)
 
@@ -330,7 +339,7 @@ module Recover : sig
   val run :
     ?seed:int -> ?scale:scale -> ?corpus:Ksurf_syzgen.Corpus.t ->
     ?app:Ksurf_tailbench.Apps.t -> ?rates:float list ->
-    ?journal:Ksurf_recov.Journal.t -> unit -> t
+    ?journal:Ksurf_recov.Journal.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
   (** [app] defaults to silo on isolated kvm-64.  With [journal], cells
       already recorded (keys [recover:<policy>:<rate>]) are skipped and
       omitted from the result. *)

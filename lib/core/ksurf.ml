@@ -102,6 +102,9 @@ module Checkpoint = Ksurf_recov.Checkpoint
 module Recov_journal = Ksurf_recov.Journal
 module Supervisor = Ksurf_recov.Supervisor
 
+module Clock = Ksurf_util.Clock
+module Pool = Ksurf_par.Pool
+
 module Report = Ksurf_report.Report
 module Csv = Ksurf_report.Csv
 module Experiments = Experiments

@@ -1,0 +1,174 @@
+(* A fixed-size domain pool tuned for this repo's shape of work: a
+   handful of long batches (sweeps) of independent, coarse cells — not
+   millions of fine-grained tasks.  So the scheduler is deliberately
+   simple: a queue of batches, each batch an array of cells claimed one
+   at a time through an atomic cursor.  The submitting domain claims
+   cells from its own batch too, which (a) uses all [jobs] domains and
+   (b) makes nested [map] calls deadlock-free: a worker that submits a
+   sub-batch drives that sub-batch itself, so progress never depends on
+   another domain being free.
+
+   Determinism: results land in a per-batch array at their input index,
+   so the merged list is in canonical input order no matter which
+   domain ran which cell or when.  Exceptions are captured per cell and
+   the earliest failing input re-raised, so even the failure mode is
+   schedule-independent. *)
+
+(* One submitted [map]: claim an index with [next], run it, count
+   completions with [left].  The batch stays on the pool queue until
+   every index is claimed; completion is signalled to the submitter
+   through its own condition so unrelated batches don't wake it. *)
+type batch = {
+  run : int -> unit;  (* never raises; stores result or exception *)
+  size : int;
+  next : int Atomic.t;
+  left : int Atomic.t;
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;
+}
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;  (* guards [queue], [state] *)
+  work : Condition.t;
+  queue : batch Queue.t;
+  mutable state : [ `Running | `Stopped ];
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () =
+  let fallback = max 1 (Domain.recommended_domain_count () - 1) in
+  match Sys.getenv_opt "KSURF_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> fallback)
+  | None -> fallback
+
+let jobs t = t.jobs
+
+(* Claim-and-run until the batch has no unclaimed cells.  Runs on
+   workers and on the submitting domain alike. *)
+let drain (b : batch) =
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.size then begin
+      b.run i;
+      if Atomic.fetch_and_add b.left (-1) = 1 then begin
+        (* Last cell: wake the submitter (which checks [left] under the
+           mutex, so the signal cannot be lost). *)
+        Mutex.lock b.done_mutex;
+        Condition.broadcast b.done_cond;
+        Mutex.unlock b.done_mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec find () =
+    if t.state = `Stopped then None
+    else
+      match Queue.peek_opt t.queue with
+      | Some b when Atomic.get b.next < b.size -> Some b
+      | Some _ ->
+          (* Fully claimed (possibly still finishing elsewhere): done
+             with it here. *)
+          ignore (Queue.pop t.queue);
+          find ()
+      | None ->
+          Condition.wait t.work t.lock;
+          find ()
+  in
+  match find () with
+  | None -> Mutex.unlock t.lock
+  | Some b ->
+      Mutex.unlock t.lock;
+      drain b;
+      worker_loop t
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      state = `Running;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    t.domains <-
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let was = t.state in
+  t.state <- `Stopped;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  if was = `Running then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map ~pool f cells =
+  if pool.state = `Stopped then invalid_arg "Pool.map: pool is shut down";
+  match cells with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | cells when pool.jobs <= 1 -> List.map f cells
+  | cells ->
+      let arr = Array.of_list cells in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let run i =
+        results.(i) <-
+          (match f arr.(i) with
+          | v -> Some (Ok v)
+          | exception e -> Some (Error (e, Printexc.get_raw_backtrace ())))
+      in
+      let b =
+        {
+          run;
+          size = n;
+          next = Atomic.make 0;
+          left = Atomic.make n;
+          done_mutex = Mutex.create ();
+          done_cond = Condition.create ();
+        }
+      in
+      Mutex.lock pool.lock;
+      Queue.push b pool.queue;
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.lock;
+      (* The submitter works its own batch, then waits for cells other
+         domains claimed. *)
+      drain b;
+      Mutex.lock b.done_mutex;
+      while Atomic.get b.left > 0 do
+        Condition.wait b.done_cond b.done_mutex
+      done;
+      Mutex.unlock b.done_mutex;
+      (* Every slot is filled; surface the earliest failure, else merge
+         in input order. *)
+      Array.iter
+        (function
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | Some (Ok _) | None -> ())
+        results;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error _) | None -> assert false)
+           results)

@@ -3,20 +3,52 @@
    can skip them after a crash.  Cells are free-form string keys (e.g.
    "dose:native:1.5").  Each line carries its own FNV-1a checksum, so a
    line half-written by a dying process is recognised and dropped on
-   load instead of poisoning the resume.  Rewrites are atomic
-   (temp + rename); the journal is tiny, so rewriting beats appending
-   and needing fsync discipline. *)
+   load instead of poisoning the resume.  Persists are atomic
+   (temp + rename + fsync).
+
+   Membership is a hashtable (O(1) per [record]/[mem]; the original
+   [List.mem] made a sweep of n cells O(n^2)), and persists are
+   batched: the file is rewritten every [flush_every] newly recorded
+   cells and on {!flush} (which sweeps call when they finish), not on
+   every [record].  A crash mid-sweep therefore loses at most
+   [flush_every - 1] cells — they are simply recomputed on resume; the
+   journal is a cache of completed work, never the source of truth.
+
+   A mutex guards all state, making the journal the single funnel
+   through which parallel sweep workers (Ksurf_par.Pool) record
+   completions: cells complete in nondeterministic order under
+   parallelism, but resume semantics are set-membership, so order never
+   matters. *)
 
 module Fileio = Ksurf_util.Fileio
 module Stable_hash = Ksurf_util.Stable_hash
 
 let magic = "ksurf-journal v1"
 
-type t = { path : string; mutable cells : string list (* reversed *) }
+let default_flush_every = 8
+
+type t = {
+  path : string;
+  lock : Mutex.t;
+  seen : (string, unit) Hashtbl.t;
+  mutable cells_rev : string list;
+  mutable unflushed : int;  (* recorded since the last persist *)
+  flush_every : int;
+}
 
 let path t = t.path
-let cells t = List.rev t.cells
-let mem t key = List.mem key t.cells
+
+let cells t =
+  Mutex.lock t.lock;
+  let l = List.rev t.cells_rev in
+  Mutex.unlock t.lock;
+  l
+
+let mem t key =
+  Mutex.lock t.lock;
+  let hit = Hashtbl.mem t.seen key in
+  Mutex.unlock t.lock;
+  hit
 
 let parse_line line =
   (* "cell <hex-checksum> <key>"; the key may itself contain spaces. *)
@@ -27,31 +59,63 @@ let parse_line line =
       if declared = Some (Stable_hash.string key) then Some key else None
   | _ -> None
 
-let load ~path =
-  if not (Sys.file_exists path) then { path; cells = [] }
+let make ?(flush_every = default_flush_every) ~path cells =
+  let seen = Hashtbl.create 64 in
+  let cells =
+    List.filter
+      (fun key ->
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      cells
+  in
+  {
+    path;
+    lock = Mutex.create ();
+    seen;
+    cells_rev = List.rev cells;
+    unflushed = 0;
+    flush_every = max 1 flush_every;
+  }
+
+let load ?flush_every ~path () =
+  if not (Sys.file_exists path) then make ?flush_every ~path []
   else
     match Fileio.read_lines path with
-    | [] -> { path; cells = [] }
+    | [] -> make ?flush_every ~path []
     | header :: rest when header = magic ->
-        {
-          path;
-          cells = List.rev (List.filter_map parse_line rest);
-        }
+        make ?flush_every ~path (List.filter_map parse_line rest)
     | _ ->
         (* Unrecognised file: treat as empty rather than resuming from
-           garbage; the next [record] overwrites it. *)
-        { path; cells = [] }
+           garbage; the next persist overwrites it. *)
+        make ?flush_every ~path []
 
-let persist t =
+(* Caller holds [t.lock]. *)
+let persist_locked t =
   Fileio.write_atomic ~path:t.path (fun oc ->
       output_string oc (magic ^ "\n");
       List.iter
         (fun key ->
           Printf.fprintf oc "cell %x %s\n" (Stable_hash.string key) key)
-        (cells t))
+        (List.rev t.cells_rev));
+  t.unflushed <- 0
+
+let flush t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> if t.unflushed > 0 then persist_locked t)
 
 let record t key =
-  if not (mem t key) then begin
-    t.cells <- key :: t.cells;
-    persist t
-  end
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not (Hashtbl.mem t.seen key) then begin
+        Hashtbl.add t.seen key ();
+        t.cells_rev <- key :: t.cells_rev;
+        t.unflushed <- t.unflushed + 1;
+        if t.unflushed >= t.flush_every then persist_locked t
+      end)

@@ -4,17 +4,39 @@
     interrupted experiment re-run with [--resume] skips work already
     done.  Every line is checksummed individually — a torn write from a
     dying process is dropped on load, not resumed from.  All writes are
-    atomic (temp + rename) and raise {!Ksurf_util.Fileio.Io_error} on
-    file-system trouble. *)
+    atomic (temp + fsync + rename) and raise
+    {!Ksurf_util.Fileio.Io_error} on file-system trouble.
+
+    Membership is O(1) (hashtable, not a list scan), and persists are
+    batched: the file is rewritten once every [flush_every] newly
+    recorded cells and on {!flush}, not on every {!record}.  A crash
+    between persists loses at most [flush_every - 1] cells, which are
+    simply recomputed on resume — the journal is a cache of completed
+    work, never the source of truth.
+
+    All operations are thread-safe (internal mutex), so a journal can
+    serve as the single write funnel for parallel sweep workers. *)
 
 type t
 
-val load : path:string -> t
+val default_flush_every : int
+(** Persist cadence used when [load] is not given [?flush_every]. *)
+
+val load : ?flush_every:int -> path:string -> unit -> t
 (** Load a journal; a missing, empty or unrecognisable file yields an
-    empty journal at that path.  Corrupt lines are silently dropped. *)
+    empty journal at that path.  Corrupt lines are silently dropped.
+    [flush_every] (default {!default_flush_every}, clamped to [>= 1])
+    sets how many newly recorded cells accumulate before the file is
+    rewritten. *)
 
 val record : t -> string -> unit
-(** Mark a cell complete and persist.  Idempotent per key. *)
+(** Mark a cell complete.  Idempotent per key.  Persists to disk only
+    when the batch threshold is reached; call {!flush} to force. *)
+
+val flush : t -> unit
+(** Persist any recorded-but-unwritten cells now.  No-op when clean.
+    Sweeps call this when they finish (and periodically mid-sweep via
+    the batch threshold). *)
 
 val mem : t -> string -> bool
 (** Has this cell already completed? *)

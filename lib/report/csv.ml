@@ -17,10 +17,16 @@ let escape s =
 let line fields = String.concat "," (List.map escape fields)
 
 let write ~path ~header ~rows =
-  List.iter
-    (fun row ->
-      if List.length row <> List.length header then
-        invalid_arg "Csv.write: ragged row")
+  (* Hoisted: recomputing [List.length header] inside the per-row check
+     made validation O(rows x header) on large exports. *)
+  let width = List.length header in
+  List.iteri
+    (fun i row ->
+      let w = List.length row in
+      if w <> width then
+        invalid_arg
+          (Printf.sprintf
+             "Csv.write: ragged row %d (%d fields, header has %d)" i w width))
     rows;
   (* Atomic replacement: a crash (or ENOSPC) mid-export must not leave a
      truncated CSV that a plotting script would silently accept. *)

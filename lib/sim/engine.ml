@@ -80,8 +80,12 @@ type _ Effect.t +=
    carry the engine explicitly so nested engines (e.g. per-node cluster
    simulations driven from a parent program) never interfere; the
    ambient reference only serves the argumentless [delay]/[suspend]
-   public API. *)
-let current : t option ref = ref None
+   public API.  Domain-local, not global: independent engines running
+   concurrently on worker domains (Ksurf_par sweep cells) must not
+   clobber each other's ambient engine. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let get_current () = Domain.DLS.get current_key
+let set_current v = Domain.DLS.set current_key v
 
 let create ?(seed = 0) () =
   {
@@ -178,7 +182,7 @@ let spawn ?at t f =
   schedule_pid t ~pid ~at (fun () -> handle t f)
 
 let engine_of_process name =
-  match !current with
+  match get_current () with
   | Some t -> t
   | None -> failwith (name ^ ": called outside of a simulation process")
 
@@ -221,8 +225,8 @@ let hung_diagnostic t ~reason =
     (Heap.size t.heap) parked_desc
 
 let run ?until ?stop ?deadline ?stall_limit t =
-  let saved = !current in
-  current := Some t;
+  let saved = get_current () in
+  set_current (Some t);
   (* No-progress detection: count consecutive executed events that fail to
      advance virtual time; a livelocked simulation (wake loops, zero-delay
      ping-pong) trips [stall_limit] long before wall-clock patience runs
@@ -230,7 +234,7 @@ let run ?until ?stop ?deadline ?stall_limit t =
   let stall_at = ref t.now in
   let stalled = ref 0 in
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> set_current saved)
     (fun () ->
       let continue = ref true in
       while !continue do

@@ -1,0 +1,5 @@
+external monotonic_ns : unit -> int64 = "ksurf_clock_monotonic_ns"
+
+let now_s () = Int64.to_float (monotonic_ns ()) /. 1e9
+
+let elapsed_s ~since = now_s () -. since

@@ -1,0 +1,17 @@
+(** Monotonic wall-clock time.
+
+    [Unix.gettimeofday] deltas are corrupted by NTP steps and manual
+    clock changes — a sweep "finishing" in negative seconds, or a
+    BENCH_*.json throughput off by the adjustment.  Every duration this
+    repo reports (the CLI's [timed], the bench harness, the kpar
+    throughput sweep) measures with [CLOCK_MONOTONIC] instead. *)
+
+val monotonic_ns : unit -> int64
+(** Nanoseconds on the monotonic clock; the origin is arbitrary — only
+    differences are meaningful. *)
+
+val now_s : unit -> float
+(** {!monotonic_ns} in seconds. *)
+
+val elapsed_s : since:float -> float
+(** Seconds elapsed since a previous {!now_s}. *)

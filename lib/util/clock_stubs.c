@@ -1,0 +1,15 @@
+/* Monotonic time for wall-clock measurements (bench harness, the CLI's
+   `timed`, BENCH_*.json).  CLOCK_MONOTONIC is immune to NTP steps and
+   manual clock changes, which corrupt Unix.gettimeofday deltas. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value ksurf_clock_monotonic_ns(value unit)
+{
+    struct timespec ts;
+    (void)unit;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,28 +1,57 @@
 exception Io_error of string
 
 (* Crash-consistent file replacement: the content is written to a
-   sibling temp file, flushed, and renamed over the destination.  POSIX
-   rename is atomic within a filesystem, so a reader (or a crashed
-   writer) observes either the old complete file or the new complete
-   file — never a prefix.  ENOSPC, EACCES and friends surface as
-   [Io_error] with the path, so callers can map them to a distinct exit
-   code instead of leaving a truncated file behind. *)
+   sibling temp file, flushed, fsynced, and renamed over the
+   destination.  POSIX rename is atomic within a filesystem, so a
+   reader (or a crashed writer) observes either the old complete file
+   or the new complete file — never a prefix.  The fsync before the
+   rename matters: without it the rename can reach disk before the
+   data, and a crash then leaves a complete-looking file full of
+   zeroes.  ENOSPC, EACCES and friends surface as [Io_error] with the
+   path, so callers can map them to a distinct exit code instead of
+   leaving a truncated file behind.
+
+   The temp name carries the pid plus a process-local counter:
+   concurrent writers to the same destination (parallel sweep workers,
+   or two ksurf processes sharing an export directory) each write their
+   own temp file instead of clobbering each other's, and the rename
+   race resolves to one complete file. *)
+
+let tmp_seq = Atomic.make 0
+
+let tmp_name path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_seq 1)
+
+let io_error ~path msg =
+  Io_error (Printf.sprintf "cannot write %s: %s" path msg)
 
 let write_atomic ~path f =
-  let tmp = path ^ ".tmp" in
+  let tmp = tmp_name path in
+  let remove_tmp () = try Sys.remove tmp with Sys_error _ -> () in
   (try
-     let oc = open_out tmp in
+     let fd =
+       Unix.openfile tmp
+         [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+         0o644
+     in
+     let oc = Unix.out_channel_of_descr fd in
      Fun.protect
        ~finally:(fun () -> close_out_noerr oc)
        (fun () ->
          f oc;
-         flush oc)
-   with Sys_error msg ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise (Io_error (Printf.sprintf "cannot write %s: %s" path msg)));
+         flush oc;
+         Unix.fsync fd)
+   with
+  | Sys_error msg ->
+      remove_tmp ();
+      raise (io_error ~path msg)
+  | Unix.Unix_error (e, _, _) ->
+      remove_tmp ();
+      raise (io_error ~path (Unix.error_message e)));
   try Sys.rename tmp path
   with Sys_error msg ->
-    (try Sys.remove tmp with Sys_error _ -> ());
+    remove_tmp ();
     raise (Io_error (Printf.sprintf "cannot replace %s: %s" path msg))
 
 let read_lines path =

@@ -2,9 +2,12 @@
 
     Every file ksurf writes that a later run depends on — checkpoints,
     sweep journals, CSV exports, fault plans — goes through
-    {!write_atomic}: write to a sibling temp file, flush, atomically
-    rename over the destination.  A crash mid-write leaves the previous
-    complete file (or nothing), never a truncated one. *)
+    {!write_atomic}: write to a sibling temp file (unique per process
+    and call, so concurrent writers cannot clobber each other's temp),
+    flush, [fsync], then atomically rename over the destination.  A
+    crash mid-write leaves the previous complete file (or nothing),
+    never a truncated one — and the fsync guarantees the rename cannot
+    hit disk ahead of the data. *)
 
 exception Io_error of string
 (** An I/O failure (ENOSPC, permissions, missing directory, …) with the
@@ -12,9 +15,12 @@ exception Io_error of string
     file-system trouble to a distinct exit code. *)
 
 val write_atomic : path:string -> (out_channel -> unit) -> unit
-(** [write_atomic ~path f] runs [f] on a temp channel, flushes, and
-    renames the temp file to [path].  On failure the temp file is
-    removed and {!Io_error} raised; [path] is never left partial. *)
+(** [write_atomic ~path f] runs [f] on a temp channel, flushes, fsyncs
+    and renames the temp file to [path].  On failure the temp file is
+    removed and {!Io_error} raised; [path] is never left partial.
+    Safe against concurrent writers to the same [path]: temp names are
+    unique per process and call, and each rename installs one complete
+    file. *)
 
 val read_lines : string -> string list
 (** All lines of a file.  Raises {!Io_error} if unreadable. *)

@@ -211,12 +211,13 @@ let test_checkpoint_detects_corruption () =
 
 let test_journal_roundtrip () =
   let p = temp_path ".journal" in
-  let j = Recov_journal.load ~path:p in
+  let j = Recov_journal.load ~path:p () in
   Alcotest.(check int) "starts empty" 0 (List.length (Recov_journal.cells j));
   Recov_journal.record j "dose:native:0.50";
   Recov_journal.record j "a key with spaces";
   Recov_journal.record j "dose:native:0.50";
-  let j' = Recov_journal.load ~path:p in
+  Recov_journal.flush j;
+  let j' = Recov_journal.load ~path:p () in
   Alcotest.(check (list string))
     "reload keeps order, dedupes"
     [ "dose:native:0.50"; "a key with spaces" ]
@@ -227,14 +228,15 @@ let test_journal_roundtrip () =
 
 let test_journal_drops_corrupt_lines () =
   let p = temp_path ".journal" in
-  let j = Recov_journal.load ~path:p in
+  let j = Recov_journal.load ~path:p () in
   Recov_journal.record j "good-cell";
   Recov_journal.record j "another-good-cell";
+  Recov_journal.flush j;
   (* Simulate a torn append plus line-level bit rot. *)
   let oc = open_out_gen [ Open_append ] 0o644 p in
   output_string oc "cell deadbeef tampered-checksum\ngarbage line\ncell 12";
   close_out oc;
-  let j' = Recov_journal.load ~path:p in
+  let j' = Recov_journal.load ~path:p () in
   Alcotest.(check (list string))
     "good cells survive, bad dropped"
     [ "good-cell"; "another-good-cell" ]
@@ -242,14 +244,14 @@ let test_journal_drops_corrupt_lines () =
   cleanup p
 
 let test_journal_missing_or_foreign_file () =
-  let j = Recov_journal.load ~path:(temp_path ".journal") in
+  let j = Recov_journal.load ~path:(temp_path ".journal") () in
   Alcotest.(check int) "missing file is empty" 0
     (List.length (Recov_journal.cells j));
   let p = temp_path ".journal" in
   let oc = open_out p in
   output_string oc "not a journal at all\n";
   close_out oc;
-  let j' = Recov_journal.load ~path:p in
+  let j' = Recov_journal.load ~path:p () in
   Alcotest.(check int) "foreign file is empty" 0
     (List.length (Recov_journal.cells j'));
   cleanup p
@@ -550,7 +552,7 @@ let test_cluster_unsupervised_unchanged () =
 
 let test_recover_study_and_journal () =
   let p = temp_path ".journal" in
-  let journal = Recov_journal.load ~path:p in
+  let journal = Recov_journal.load ~path:p () in
   let t =
     Experiments.Recover.run ~seed:9 ~scale:Experiments.Quick
       ~corpus:(Lazy.force tiny_corpus) ~rates:[ 0.0; 0.02 ] ~journal ()
@@ -576,7 +578,7 @@ let test_recover_study_and_journal () =
   let t' =
     Experiments.Recover.run ~seed:9 ~scale:Experiments.Quick
       ~corpus:(Lazy.force tiny_corpus) ~rates:[ 0.0; 0.02 ]
-      ~journal:(Recov_journal.load ~path:p) ()
+      ~journal:(Recov_journal.load ~path:p ()) ()
   in
   Alcotest.(check int) "resume skips all" 0
     (List.length t'.Experiments.Recover.cells);
