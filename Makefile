@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test analyze-smoke inject-smoke specialize-smoke soak bench-json check clean
+.PHONY: all build test analyze-smoke inject-smoke specialize-smoke soak bench-json staticcheck lint check clean
 
 all: build
 
@@ -43,7 +43,20 @@ soak:
 bench-json:
 	dune exec bench/main.exe -- sweep quick
 
-check: build test analyze-smoke inject-smoke specialize-smoke soak
+# Static analysis gate (kstat): certify the stock table cycle-free,
+# print the interference matrix, and verify the fs workload's
+# profile-derived allowlist (gaps / slack / pruned-machinery hazards).
+# No simulation involved; exits nonzero on any finding.
+staticcheck:
+	dune exec bin/ksurf_cli.exe -- staticcheck
+	dune exec bin/ksurf_cli.exe -- staticcheck --spec fs
+
+# Source lint (klint): module-level mutable state in the
+# domain-parallel layers and raw open_out result writes.
+lint:
+	dune exec bin/klint.exe -- lib
+
+check: build test lint staticcheck analyze-smoke inject-smoke specialize-smoke soak
 
 clean:
 	dune clean

@@ -88,7 +88,7 @@ let experiments =
    BENCH_kpar.json.  The speedup numbers are whatever this machine
    gives (a single-core CI runner reports ~1.0x); the hash equality is
    the hard claim. *)
-let run_sweep ~seed ~scale =
+let run_sweep ~seed ~scale ~gate_speedup =
   let corpus = E.default_corpus ~seed scale in
   let job_counts = [ 1; 2; 4; 8 ] in
   let rows =
@@ -125,6 +125,18 @@ let run_sweep ~seed ~scale =
     rows;
   Format.printf "  outputs across job counts: %s@."
     (if deterministic then "bit-identical" else "DIVERGENT");
+  (* Per-jobs speedup ratios, pulled out as named top-level JSON fields
+     so dashboards and the gate below read them without re-deriving
+     anything from the row list. *)
+  let speedup_of jobs =
+    List.find_map
+      (fun (j, cells, seconds, _) ->
+        if j = jobs && seconds > 0.0 && base_rate > 0.0 then
+          Some (float_of_int cells /. seconds /. base_rate)
+        else None)
+      rows
+    |> Option.value ~default:0.0
+  in
   let json =
     let row_json (jobs, cells, seconds, hash) =
       let rate = if seconds > 0.0 then float_of_int cells /. seconds else 0.0 in
@@ -142,17 +154,32 @@ let run_sweep ~seed ~scale =
       \  \"seed\": %d,\n\
       \  \"scale\": %S,\n\
       \  \"deterministic_across_jobs\": %b,\n\
+      \  \"speedup_jobs2\": %.3f,\n\
+      \  \"speedup_jobs4\": %.3f,\n\
+      \  \"speedup_jobs8\": %.3f,\n\
       \  \"rows\": [\n%s\n  ]\n\
        }\n"
       seed
       (match scale with E.Quick -> "quick" | E.Full -> "full")
-      deterministic
+      deterministic (speedup_of 2) (speedup_of 4) (speedup_of 8)
       (String.concat ",\n" (List.map row_json rows))
   in
   Ksurf.Fileio.write_atomic ~path:"BENCH_kpar.json" (fun oc ->
       output_string oc json);
   Format.printf "  wrote BENCH_kpar.json@.";
-  if not deterministic then exit 1
+  if not deterministic then exit 1;
+  (* Opt-in scaling gate: require the jobs=4 speedup to clear a floor.
+     Off by default so single-core CI runners (speedup ~1.0x) stay
+     green; a perf-tracking job can pass e.g. --gate-speedup 2.0. *)
+  match gate_speedup with
+  | None -> ()
+  | Some floor ->
+      let s4 = speedup_of 4 in
+      if s4 < floor then begin
+        Format.printf "  speedup gate FAILED: jobs=4 %.2fx < %.2fx@." s4 floor;
+        exit 1
+      end
+      else Format.printf "  speedup gate passed: jobs=4 %.2fx >= %.2fx@." s4 floor
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator core.                     *)
@@ -291,6 +318,17 @@ let () =
         (jobs, a :: kept)
   in
   let jobs, args = parse_jobs args in
+  (* "--gate-speedup X": fail the sweep if jobs=4 scales below X. *)
+  let rec parse_gate = function
+    | [] -> (None, [])
+    | "--gate-speedup" :: x :: rest ->
+        let _, kept = parse_gate rest in
+        (Some (float_of_string x), kept)
+    | a :: rest ->
+        let gate, kept = parse_gate rest in
+        (gate, a :: kept)
+  in
+  let gate_speedup, args = parse_gate args in
   let selected = List.filter (fun a -> a <> "quick" && a <> "full") args in
   let seed = 42 in
   let wants name = selected = [] || List.mem name selected in
@@ -309,5 +347,5 @@ let () =
               timed name (fun () -> run ~seed ~scale ~corpus ~pool))
           experiments);
   if List.mem "sweep" selected then
-    timed "sweep" (fun () -> run_sweep ~seed ~scale);
+    timed "sweep" (fun () -> run_sweep ~seed ~scale ~gate_speedup);
   if wants "micro" then timed "micro" run_micro

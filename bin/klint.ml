@@ -1,0 +1,34 @@
+(* klint driver: lint the repo's own sources (see lib/lint).
+
+   Usage: klint [ROOT...] — roots default to ./lib; directories are
+   walked recursively for .ml files, each linted with the repo policy
+   (Lint.default_checks).  Exits 1 on any finding. *)
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry -> ml_files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | r -> r
+  in
+  let files = List.concat_map ml_files roots in
+  let findings =
+    List.concat_map
+      (fun f ->
+        Ksurf_lint.Lint.lint_file ~checks:(Ksurf_lint.Lint.default_checks ~path:f) f)
+      files
+  in
+  List.iter
+    (fun f -> Format.printf "%a@." Ksurf_lint.Lint.pp_finding f)
+    findings;
+  if findings = [] then
+    Format.printf "klint: %d files clean@." (List.length files)
+  else begin
+    Format.printf "klint: %d finding(s) in %d files@." (List.length findings)
+      (List.length files);
+    exit 1
+  end

@@ -578,6 +578,114 @@ let specialize_cmd =
       const specialize $ seed_arg $ scale_arg $ smoke $ export_dir
       $ journal_arg $ resume_arg $ jobs_arg $ logs_term)
 
+(* --- staticcheck ------------------------------------------------------ *)
+
+(* kstat driver.  Everything is derived from the syscall table without
+   running the simulator; [--spec] additionally generates the named
+   stock workload's corpus (cheap) to verify its profile-derived
+   allowlist.  Any finding — a lock-order cycle, an allowlist gap or
+   slack, pruned-machinery hazard — exits nonzero, so `make
+   staticcheck` gates on it. *)
+let staticcheck seed scale table locks interference spec_workload csv_dir () =
+  let module S = Ksurf.Staticcheck in
+  let show_all =
+    (not table) && (not locks) && (not interference) && spec_workload = None
+  in
+  let findings = ref [] in
+  if table || show_all then begin
+    let fps = Ksurf.Footprint.all () in
+    Format.printf "static footprints (%d syscalls):@." (List.length fps);
+    List.iter (fun fp -> Format.printf "  %a@." Ksurf.Footprint.pp fp) fps
+  end;
+  if locks || show_all then begin
+    let graph = Ksurf.Lockgraph.of_table () in
+    Format.printf "%a@." Ksurf.Lockgraph.pp graph;
+    findings := !findings @ Ksurf.Lockgraph.cycles graph
+  end;
+  if interference || show_all then
+    Format.printf "%a@." Ksurf.Interference.pp (Ksurf.Interference.of_table ());
+  (match spec_workload with
+  | None -> ()
+  | Some w ->
+      let name, keep, corpus =
+        match w with
+        | "full" -> ("full", Ksurf.Category.all, E.default_corpus ~seed E.Quick)
+        | "fs" ->
+            ("fs", E.Specialize.retained, E.Specialize.workload ~seed ~scale ())
+        | other ->
+            Format.eprintf "unknown workload %S (expected full or fs)@." other;
+            exit 2
+      in
+      let profile = Ksurf.Profile.of_corpus ~name corpus in
+      let spec = Ksurf.Specializer.compile profile in
+      let config = Ksurf.Specializer.kernel_config spec in
+      let report =
+        S.verify ~workload:name ~keep ~profile ~spec ~config ()
+      in
+      Format.printf "%a@." S.pp_spec_report report;
+      findings := !findings @ report.S.findings);
+  (match csv_dir with
+  | None -> ()
+  | Some dir ->
+      List.iter
+        (fun p -> Logs.app (fun m -> m "wrote %s" p))
+        (S.export_csv ~dir ()));
+  if !findings <> [] then begin
+    Format.printf "staticcheck: %d finding(s)@." (List.length !findings);
+    exit 1
+  end
+
+let staticcheck_cmd =
+  let table =
+    Arg.(
+      value & flag
+      & info [ "table" ] ~doc:"Print the per-call static footprint table.")
+  in
+  let locks =
+    Arg.(
+      value & flag
+      & info [ "locks" ]
+          ~doc:
+            "Print the static lock-order graph and certify it cycle-free \
+             (exit nonzero on a potential-deadlock cycle).")
+  in
+  let interference =
+    Arg.(
+      value & flag
+      & info [ "interference" ]
+          ~doc:
+            "Print the static interference matrix: call pairs that can \
+             contend on the same instance-global lock.")
+  in
+  let spec_workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Verify the profile-derived allowlist of a stock workload \
+             ($(b,full) or $(b,fs)): flag gaps, slack and pruned-machinery \
+             hazards, and print static vs dynamic surface area.")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:
+            "Write static_footprints.csv, static_lock_graph.csv and \
+             static_interference.csv into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "staticcheck"
+       ~doc:
+         "kstat: static footprints, lock-order certification, interference \
+          matrix and allowlist verification over the syscall model — no \
+          simulation involved; exits nonzero on findings")
+    Term.(
+      const staticcheck $ seed_arg $ scale_arg $ table $ locks $ interference
+      $ spec_workload $ csv_dir $ logs_term)
+
 (* --- experiments ------------------------------------------------------ *)
 
 let experiment_cmd name ~doc run =
@@ -836,6 +944,7 @@ let main_cmd =
       analyze_cmd;
       inject_cmd;
       specialize_cmd;
+      staticcheck_cmd;
       dose_cmd;
       recover_cmd;
       table1_cmd;

@@ -24,6 +24,13 @@ val class_of_instance : string -> string
 val on_event : t -> Ksurf_sim.Engine.event_info -> unit
 (** Probe entry point; ignores non-[Sync] events. *)
 
+val strongly_connected_components :
+  nodes:string list -> succs:(string -> string list) -> string list list
+(** Tarjan SCC over an arbitrary class graph, in deterministic node
+    order.  Shared with the static lock-order graph (lib/staticcheck),
+    which must agree with the dynamic validator on what counts as a
+    potential-deadlock cycle. *)
+
 val sync_events : t -> int
 (** Lock/rwlock/barrier events seen so far. *)
 

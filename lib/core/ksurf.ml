@@ -107,5 +107,10 @@ module Pool = Ksurf_par.Pool
 
 module Report = Ksurf_report.Report
 module Csv = Ksurf_report.Csv
+
+module Footprint = Ksurf_static.Footprint
+module Lockgraph = Ksurf_static.Lockgraph
+module Interference = Ksurf_static.Interference
+module Staticcheck = Ksurf_static.Staticcheck
 module Experiments = Experiments
 module Export = Export

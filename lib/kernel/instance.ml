@@ -341,26 +341,39 @@ let locked_burn t l hold =
   burn t hold;
   Lock.release l
 
-let exec_op t ctx (op : Ops.op) =
+let rec exec_op t ctx (op : Ops.op) =
   let cfg = t.config in
   note_op t;
   (match op with
-  | Ops.Lock (Ops.Journal, _) | Ops.Lock (Ops.Inode, _) | Ops.Dcache_lookup ->
+  | Ops.Lock (Ops.Journal, _) | Ops.Lock (Ops.Inode, _)
+  | Ops.With_lock (Ops.Journal, _, _) | Ops.With_lock (Ops.Inode, _, _)
+  | Ops.Dcache_lookup ->
       note_activity t Fs_activity
   | Ops.Page_alloc _ | Ops.Slab_alloc | Ops.Tlb_shootdown
   | Ops.Write_lock (Ops.Mmap_sem, _) ->
       note_activity t Mm_activity
-  | Ops.Lock (Ops.Runqueue, _) | Ops.Lock (Ops.Tasklist, _) ->
+  | Ops.Lock (Ops.Runqueue, _) | Ops.Lock (Ops.Tasklist, _)
+  | Ops.With_lock (Ops.Runqueue, _, _) | Ops.With_lock (Ops.Tasklist, _, _) ->
       note_activity t Sched_activity
   | Ops.Cgroup_charge -> note_activity t Charge_activity
-  | Ops.Cpu _ | Ops.Cpu_dist _ | Ops.Lock (_, _) | Ops.Read_lock (_, _)
-  | Ops.Write_lock (Ops.Sb_umount, _) | Ops.Page_cache_lookup | Ops.Rcu_sync
-  | Ops.Block_io _ | Ops.Sleep _ ->
+  | Ops.Cpu _ | Ops.Cpu_dist _ | Ops.Lock (_, _) | Ops.With_lock (_, _, _)
+  | Ops.Read_lock (_, _) | Ops.Write_lock (Ops.Sb_umount, _)
+  | Ops.Page_cache_lookup | Ops.Rcu_sync | Ops.Block_io _ | Ops.Sleep _ ->
       ());
   match op with
   | Ops.Cpu d -> burn t d
   | Ops.Cpu_dist dist -> burn t (sample t dist)
   | Ops.Lock (ref, hold) -> locked_burn t (lock t ctx ref) (sample t hold)
+  | Ops.With_lock (ref, hold, body) ->
+      (* The outer lock stays held across the body: this is the only op
+         that nests acquisitions, so it is the sole source of lock-order
+         edges in syscall programs (observed by lockdep, predicted by
+         the static lock graph in lib/staticcheck). *)
+      let l = lock t ctx ref in
+      Lock.acquire l;
+      burn t (sample t hold);
+      List.iter (exec_op t ctx) body;
+      Lock.release l
   | Ops.Read_lock (ref, hold) ->
       let l = rwlock t ctx ref in
       Rwlock.acquire_read l;

@@ -38,6 +38,7 @@ type op =
   | Cpu of float
   | Cpu_dist of Ksurf_util.Dist.t
   | Lock of lock_ref * Ksurf_util.Dist.t
+  | With_lock of lock_ref * Ksurf_util.Dist.t * op list
   | Read_lock of rw_ref * Ksurf_util.Dist.t
   | Write_lock of rw_ref * Ksurf_util.Dist.t
   | Dcache_lookup
@@ -50,10 +51,16 @@ type op =
   | Cgroup_charge
   | Sleep of Ksurf_util.Dist.t
 
-let pp_op ppf = function
+let rec pp_op ppf = function
   | Cpu ns -> Format.fprintf ppf "cpu(%.0fns)" ns
   | Cpu_dist _ -> Format.fprintf ppf "cpu(dist)"
   | Lock (l, _) -> Format.fprintf ppf "lock(%s)" (lock_ref_name l)
+  | With_lock (l, _, body) ->
+      Format.fprintf ppf "with_lock(%s){%a}" (lock_ref_name l)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_op)
+        body
   | Read_lock (l, _) -> Format.fprintf ppf "rdlock(%s)" (rw_ref_name l)
   | Write_lock (l, _) -> Format.fprintf ppf "wrlock(%s)" (rw_ref_name l)
   | Dcache_lookup -> Format.pp_print_string ppf "dcache_lookup"
@@ -67,8 +74,14 @@ let pp_op ppf = function
   | Cgroup_charge -> Format.pp_print_string ppf "cgroup_charge"
   | Sleep _ -> Format.pp_print_string ppf "sleep"
 
-let total_fixed_cost ops =
-  List.fold_left (fun acc op -> match op with Cpu ns -> acc +. ns | _ -> acc) 0.0 ops
+let rec total_fixed_cost ops =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Cpu ns -> acc +. ns
+      | With_lock (_, _, body) -> acc +. total_fixed_cost body
+      | _ -> acc)
+    0.0 ops
 
 (* Kernel machinery that exists to serve specific syscall categories.
    The specializer (lib/spec) prunes every machinery no retained

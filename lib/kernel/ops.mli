@@ -36,6 +36,14 @@ type op =
   | Cpu of float  (** in-kernel computation, fixed ns *)
   | Cpu_dist of Ksurf_util.Dist.t  (** in-kernel computation, sampled *)
   | Lock of lock_ref * Ksurf_util.Dist.t  (** critical section; hold sampled *)
+  | With_lock of lock_ref * Ksurf_util.Dist.t * op list
+      (** nested critical section: the lock is held (for the sampled
+          base hold) {e across} the body ops, so every acquisition in
+          the body establishes a lock-order edge under the outer lock —
+          the construct lockdep and the static lock-order graph reason
+          about.  Paths that nest in the real kernel (rename's
+          dcache-then-inode, journalled inode updates opening a
+          transaction handle under the inode lock) use this form. *)
   | Read_lock of rw_ref * Ksurf_util.Dist.t
   | Write_lock of rw_ref * Ksurf_util.Dist.t
   | Dcache_lookup  (** dentry cache probe: hit or miss-and-fill *)

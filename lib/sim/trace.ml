@@ -61,7 +61,4 @@ let to_csv t =
   Buffer.contents buf
 
 let write_csv t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_csv t))
+  Ksurf_util.Fileio.write_atomic ~path (fun oc -> output_string oc (to_csv t))

@@ -178,10 +178,7 @@ let of_string s =
         }
 
 let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t))
+  Ksurf_util.Fileio.write_atomic ~path (fun oc -> output_string oc (to_string t))
 
 let load path =
   match open_in path with

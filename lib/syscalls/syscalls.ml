@@ -17,7 +17,15 @@ let name_index =
 
 let number_index =
   let tbl = Hashtbl.create (2 * count) in
-  Array.iter (fun s -> Hashtbl.replace tbl s.Spec.number s) all;
+  Array.iter
+    (fun s ->
+      (* Table.validate already rejects duplicates; mirror the name
+         index's loudness rather than silently keeping the last entry. *)
+      if Hashtbl.mem tbl s.Spec.number then
+        invalid_arg
+          (Printf.sprintf "Syscalls: duplicate syscall number %d" s.Spec.number);
+      Hashtbl.add tbl s.Spec.number s)
+    all;
   tbl
 
 let by_name name = Hashtbl.find_opt name_index name

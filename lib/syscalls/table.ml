@@ -57,6 +57,18 @@ let inode_op hold = Lock (Inode, h hold 0.4)
 (* Journalled metadata update: dirties the journal under its lock. *)
 let journal_op hold = Lock (Journal, h hold 0.5)
 
+(* Journalled inode update: the transaction handle is opened while the
+   inode lock is held, as ext4's sequence does — the inode -> journal
+   lock-order edge every journalled write path exhibits. *)
+let journalled_inode_op ~inode ~journal =
+  With_lock (Inode, h inode 0.4, [ journal_op journal ])
+
+(* Directory-namespace mutation: the dcache (rename/namespace) lock is
+   held across the victim's inode lock, rename_lock-style — the
+   dcache -> inode edge. *)
+let namespace_op ~dcache ~inode =
+  With_lock (Dcache, h dcache 0.4, [ inode_op inode ])
+
 let spec = Spec.make
 
 (* ====================================================================
@@ -382,13 +394,13 @@ let file_io_specs =
       ~arg_model:Arg.io ~doc:"preallocate file blocks" (fun arg ->
         [
           fd_lookup;
-          inode_op 500.0;
-          journal_op 600.0;
+          journalled_inode_op ~inode:500.0 ~journal:600.0;
           Cpu (float_of_int (max 1 (arg.Arg.size / 4096)) *. 20.0);
         ]);
     spec ~name:"ftruncate" ~number:77 ~categories:[ Category.File_io; Category.Fs_mgmt ]
       ~doc:"truncate an open file" (fun _ ->
-        [ fd_lookup; inode_op 500.0; journal_op 500.0; Page_cache_lookup ]);
+        [ fd_lookup; journalled_inode_op ~inode:500.0 ~journal:500.0;
+          Page_cache_lookup ]);
     spec ~name:"sync_file_range" ~number:277 ~categories:[ Category.File_io ]
       ~arg_model:Arg.io ~doc:"flush a byte range of a file" (fun arg ->
         [ fd_lookup; Block_io { bytes = max 4096 (min arg.Arg.size 131072); write = true } ]);
@@ -483,11 +495,11 @@ let fs_mgmt_specs =
       ~arg_model:(Arg.objected 16)
       ~doc:"rename a path (two lookups, journalled)" (fun _ ->
         path_walk 2 @ path_walk 2
-        @ [ Lock (Dcache, h 500.0 0.4); inode_op 500.0; journal_op 900.0 ]);
+        @ [ namespace_op ~dcache:500.0 ~inode:500.0; journal_op 900.0 ]);
     spec ~name:"renameat2" ~number:316 ~categories:[ Category.Fs_mgmt ]
       ~arg_model:(Arg.objected 16) ~doc:"rename with flags" (fun _ ->
         (fd_lookup :: (path_walk 2 @ path_walk 2))
-        @ [ Lock (Dcache, h 500.0 0.4); inode_op 500.0; journal_op 900.0 ]);
+        @ [ namespace_op ~dcache:500.0 ~inode:500.0; journal_op 900.0 ]);
     spec ~name:"mkdir" ~number:83 ~categories:[ Category.Fs_mgmt ]
       ~arg_model:(Arg.objected 16) ~doc:"create a directory" (fun _ ->
         path_walk 2 @ [ Slab_alloc; inode_op 450.0; journal_op 850.0; Cgroup_charge ]);
@@ -498,15 +510,15 @@ let fs_mgmt_specs =
         @ [ Slab_alloc; inode_op 450.0; journal_op 850.0; Cgroup_charge ]);
     spec ~name:"rmdir" ~number:84 ~categories:[ Category.Fs_mgmt ]
       ~arg_model:(Arg.objected 16) ~doc:"remove a directory" (fun _ ->
-        path_walk 2 @ [ Lock (Dcache, h 450.0 0.4); inode_op 450.0; journal_op 800.0 ]);
+        path_walk 2 @ [ namespace_op ~dcache:450.0 ~inode:450.0; journal_op 800.0 ]);
     spec ~name:"unlink" ~number:87 ~categories:[ Category.Fs_mgmt ]
       ~arg_model:(Arg.objected 16) ~doc:"remove a file link" (fun _ ->
         path_walk 2
-        @ [ Lock (Dcache, h 400.0 0.4); inode_op 450.0; journal_op 750.0; Rcu_sync ]);
+        @ [ namespace_op ~dcache:400.0 ~inode:450.0; journal_op 750.0; Rcu_sync ]);
     spec ~name:"unlinkat" ~number:263 ~categories:[ Category.Fs_mgmt ]
       ~arg_model:(Arg.objected 16) ~doc:"remove relative to a dirfd" (fun _ ->
         (fd_lookup :: path_walk 1)
-        @ [ Lock (Dcache, h 400.0 0.4); inode_op 450.0; journal_op 750.0 ]);
+        @ [ namespace_op ~dcache:400.0 ~inode:450.0; journal_op 750.0 ]);
     spec ~name:"link" ~number:86 ~categories:[ Category.Fs_mgmt ]
       ~arg_model:(Arg.objected 16) ~doc:"create a hard link" (fun _ ->
         path_walk 2 @ path_walk 2 @ [ inode_op 500.0; journal_op 800.0 ]);
@@ -539,7 +551,8 @@ let fs_mgmt_specs =
         @ [ copy_cost (min arg.Arg.size 16384) ]);
     spec ~name:"truncate" ~number:76 ~categories:[ Category.Fs_mgmt; Category.File_io ]
       ~arg_model:(Arg.objected 16) ~doc:"truncate a path" (fun _ ->
-        path_walk 2 @ [ inode_op 550.0; journal_op 600.0; Page_cache_lookup ]);
+        path_walk 2
+        @ [ journalled_inode_op ~inode:550.0 ~journal:600.0; Page_cache_lookup ]);
     spec ~name:"statfs" ~number:137 ~categories:[ Category.Fs_mgmt ]
       ~arg_model:(Arg.objected 16) ~doc:"filesystem statistics for a path" (fun _ ->
         path_walk 2 @ [ Read_lock (Sb_umount, h 250.0 0.3); Cpu 300.0 ]);
@@ -548,7 +561,8 @@ let fs_mgmt_specs =
         [ fd_lookup; Read_lock (Sb_umount, h 250.0 0.3); Cpu 280.0 ]);
     spec ~name:"utimensat" ~number:280 ~categories:[ Category.Fs_mgmt ]
       ~arg_model:(Arg.objected 16) ~doc:"set file timestamps" (fun _ ->
-        (fd_lookup :: path_walk 1) @ [ inode_op 400.0; journal_op 500.0 ]);
+        (fd_lookup :: path_walk 1)
+        @ [ journalled_inode_op ~inode:400.0 ~journal:500.0 ]);
     spec ~name:"mount" ~number:165 ~categories:[ Category.Fs_mgmt; Category.Perm ]
       ~doc:"mount a filesystem" (fun _ ->
         path_walk 2
@@ -916,6 +930,38 @@ let misc_specs =
         [ Slab_alloc; Write_lock (Mmap_sem, h 400.0 0.4); Cpu 500.0 ]);
   ]
 
+(* Eager validation at table-build time: a duplicate name would make
+   [Syscalls.by_name] ambiguous, a duplicate number used to be silently
+   last-wins in [Syscalls.by_number], and an empty category list would
+   make the call invisible to the specializer's machinery pruning.  All
+   three are table-authoring mistakes; fail loudly here, with the
+   offending entry named, rather than misbehave downstream. *)
+let validate specs =
+  let names = Hashtbl.create 256 in
+  let numbers = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Spec.t) ->
+      if s.Spec.categories = [] then
+        invalid_arg
+          (Printf.sprintf "Table.validate: syscall %S has no categories"
+             s.Spec.name);
+      (match Hashtbl.find_opt names s.Spec.name with
+      | Some () ->
+          invalid_arg
+            (Printf.sprintf "Table.validate: duplicate syscall name %S"
+               s.Spec.name)
+      | None -> Hashtbl.add names s.Spec.name ());
+      match Hashtbl.find_opt numbers s.Spec.number with
+      | Some other ->
+          invalid_arg
+            (Printf.sprintf
+               "Table.validate: syscall number %d used by both %S and %S"
+               s.Spec.number other s.Spec.name)
+      | None -> Hashtbl.add numbers s.Spec.number s.Spec.name)
+    specs;
+  specs
+
 let specs =
-  process_specs @ memory_specs @ file_io_specs @ fs_mgmt_specs @ ipc_specs
-  @ perm_specs @ misc_specs
+  validate
+    (process_specs @ memory_specs @ file_io_specs @ fs_mgmt_specs @ ipc_specs
+   @ perm_specs @ misc_specs)

@@ -4,3 +4,10 @@
 
 val specs : Spec.t list
 (** Every modeled call.  Names are unique; see {!Syscalls.by_name}. *)
+
+val validate : Spec.t list -> Spec.t list
+(** Eager well-formedness check, applied to {!specs} at module-build
+    time and reusable for custom tables (e.g. the static analyzer's
+    negative controls): raises a descriptive [Invalid_argument] on a
+    duplicate syscall name, a duplicate syscall number, or an empty
+    [categories] list.  Returns the list unchanged when valid. *)

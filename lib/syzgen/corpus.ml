@@ -121,10 +121,8 @@ let of_string s =
   | Error _ as e -> e
 
 let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t ^ "\n"))
+  Ksurf_util.Fileio.write_atomic ~path (fun oc ->
+      output_string oc (to_string t ^ "\n"))
 
 let load path =
   match open_in path with

@@ -26,11 +26,16 @@ end
    Two ops of the same constructor with different lock targets are
    different blocks; sampled hold distributions are not discriminated
    (the same code runs, its duration just varies). *)
-let op_tag (op : Ops.op) =
+let rec op_tag (op : Ops.op) =
   match op with
   | Ops.Cpu _ -> 1
   | Ops.Cpu_dist _ -> 2
   | Ops.Lock (l, _) -> Hash.combine 3 (Hash.string (Ops.lock_ref_name l))
+  | Ops.With_lock (l, _, body) ->
+      Hash.combine 15
+        (Hash.combine
+           (Hash.string (Ops.lock_ref_name l))
+           (Hash.ints (List.map op_tag body)))
   | Ops.Read_lock (l, _) -> Hash.combine 4 (Hash.string (Ops.rw_ref_name l))
   | Ops.Write_lock (l, _) -> Hash.combine 5 (Hash.string (Ops.rw_ref_name l))
   | Ops.Dcache_lookup -> 6

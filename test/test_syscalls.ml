@@ -118,9 +118,48 @@ let test_size_bucket_monotone () =
   Alcotest.(check bool) "4K and 1M differ" true
     (Arg.size_bucket 4096 <> Arg.size_bucket (1 lsl 20))
 
+(* Eager table validation: malformed tables must die at build time
+   with a message naming the offending entry, not surface later as a
+   silently shadowed Hashtbl binding. *)
+let test_table_validation () =
+  let dummy ?(name = "zz_ctl") ?(number = 9990) () =
+    Spec.make ~name ~number ~categories:[ Category.Ipc ] ~doc:"control"
+      (fun _ -> [ Ops.Cpu 10.0 ])
+  in
+  let module Table = Ksurf_syscalls.Table in
+  Alcotest.(check int) "a valid list passes through" 2
+    (List.length (Table.validate [ dummy (); dummy ~name:"zz_two" ~number:9991 () ]));
+  let expect_invalid label ~mentions specs =
+    match Table.validate specs with
+    | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s message mentions %s" label mentions)
+          true
+          (Test_util.contains ~sub:mentions msg)
+    | _ -> Alcotest.failf "%s was accepted" label
+  in
+  expect_invalid "duplicate name" ~mentions:"zz_ctl"
+    [ dummy (); dummy ~number:9991 () ];
+  expect_invalid "duplicate number" ~mentions:"9990"
+    [ dummy (); dummy ~name:"zz_two" () ];
+  expect_invalid "empty categories" ~mentions:"zz_ctl"
+    [ { (dummy ()) with Spec.categories = [] } ]
+
+let test_duplicate_number_index () =
+  (* Syscalls.all is built from the validated table, so the duplicate
+     check in the number index is a backstop; assert the table itself
+     carries unique numbers. *)
+  let numbers =
+    Array.to_list Syscalls.all |> List.map (fun s -> s.Spec.number)
+  in
+  Alcotest.(check int) "numbers unique" (List.length numbers)
+    (List.length (List.sort_uniq Int.compare numbers))
+
 let suite =
   [
     Alcotest.test_case "table size" `Quick test_table_size;
+    Alcotest.test_case "table validation" `Quick test_table_validation;
+    Alcotest.test_case "numbers unique" `Quick test_duplicate_number_index;
     Alcotest.test_case "names unique" `Quick test_names_unique;
     Alcotest.test_case "by_name" `Quick test_lookup_by_name;
     Alcotest.test_case "by_number" `Quick test_lookup_by_number;
