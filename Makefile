@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test analyze-smoke inject-smoke specialize-smoke soak bench-json staticcheck lint check clean
+.PHONY: all build test analyze-smoke inject-smoke specialize-smoke tenancy-smoke soak bench-json tenancy-bench staticcheck lint check clean
 
 all: build
 
@@ -29,6 +29,13 @@ inject-smoke:
 specialize-smoke:
 	dune exec bin/ksurf_cli.exe -- specialize --seed 42 --smoke
 
+# Tenancy smoke run (ktenant): a churny adaptive fleet executed twice
+# under lockdep + determinism + invariants, then the SLO accounting
+# cross-checked (attainment bounds, creates >= destroys, ...); exits
+# nonzero on any divergence, finding or inconsistency.
+tenancy-smoke:
+	dune exec bin/ksurf_cli.exe -- tenancy --seed 42 --smoke
+
 # Chaos soak: supervised BSP under the "crashy" plan plus random
 # crashes with each recovery policy (all supersteps must complete),
 # then a kill-and-resume round trip from a mid-run checkpoint that
@@ -43,6 +50,13 @@ soak:
 bench-json:
 	dune exec bench/main.exe -- sweep quick
 
+# ktenant memory-flatness bench: the same churny 64-tenant fleet at
+# 10^5 and 10^6 requests, wall clock + peak RSS per run, written to
+# BENCH_tenancy.json.  Exits nonzero if 10x the requests more than
+# doubles the peak RSS — the streaming-statistics gate.
+tenancy-bench:
+	dune exec bench/main.exe -- tenancy full
+
 # Static analysis gate (kstat): certify the stock table cycle-free,
 # print the interference matrix, and verify the fs workload's
 # profile-derived allowlist (gaps / slack / pruned-machinery hazards).
@@ -56,7 +70,7 @@ staticcheck:
 lint:
 	dune exec bin/klint.exe -- lib
 
-check: build test lint staticcheck analyze-smoke inject-smoke specialize-smoke soak
+check: build test lint staticcheck analyze-smoke inject-smoke specialize-smoke tenancy-smoke soak
 
 clean:
 	dune clean

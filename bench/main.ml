@@ -182,6 +182,129 @@ let run_sweep ~seed ~scale ~gate_speedup =
       else Format.printf "  speedup gate passed: jobs=4 %.2fx >= %.2fx@." s4 floor
 
 (* ------------------------------------------------------------------ *)
+(* ktenant memory-flatness bench: the same churny fleet at 10^5 and    *)
+(* 10^6 requests.  Every latency accumulator is a Streamstat, so peak  *)
+(* RSS must stay flat while the request count grows 10x — that ratio   *)
+(* is the hard claim, the wall-clock numbers are machine-dependent     *)
+(* context.                                                            *)
+
+(* Peak resident set (kB) from /proc/self/status; 0 where the kernel
+   doesn't provide it (non-Linux).  VmHWM is a process-lifetime
+   high-water mark, so running the small target first means any growth
+   measured after the big target is growth the big target caused. *)
+let vm_hwm_kb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | line ->
+              if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+                Scanf.sscanf (String.sub line 6 (String.length line - 6))
+                  " %d" Fun.id
+              else scan ()
+          | exception End_of_file -> 0
+        in
+        scan ())
+  with Sys_error _ -> 0
+
+let run_tenancy ~seed ~scale =
+  let module F = Ksurf.Fleet in
+  let module P = Ksurf.Tenant_policy in
+  let targets =
+    match scale with
+    | E.Quick -> [ 10_000; 100_000 ]
+    | E.Full -> [ 100_000; 1_000_000 ]
+  in
+  let config target =
+    {
+      F.default_config with
+      F.tenants = 64;
+      churn_per_day = 8.0;
+      policy = P.Static P.Docker;
+      seed;
+      (* t_end far beyond the request target: the run always stops on
+         the target, and the 1% warmup fraction keeps the staggered
+         boot storm short. *)
+      days = 4000.0;
+      warmup_fraction = 0.001;
+      request_target = Some target;
+    }
+  in
+  let rows =
+    List.map
+      (fun target ->
+        Gc.compact ();
+        let t0 = Ksurf.Clock.now_s () in
+        let r = F.run (config target) in
+        let seconds = Ksurf.Clock.elapsed_s ~since:t0 in
+        let hwm = vm_hwm_kb () in
+        let heap_mb =
+          float_of_int (Gc.quick_stat ()).Gc.top_heap_words
+          *. float_of_int (Sys.word_size / 8)
+          /. 1048576.0
+        in
+        Format.printf
+          "  %7d requests: %6.2fs wall (%.0f req/s), p99 %.1f us, %d cgroup \
+           storms, peak RSS %d kB, top heap %.1f MB@."
+          r.F.completed seconds
+          (if seconds > 0.0 then float_of_int r.F.completed /. seconds else 0.0)
+          (r.F.p99 /. 1e3)
+          (r.F.cgroup_creates + r.F.cgroup_destroys)
+          hwm heap_mb;
+        (target, r, seconds, hwm, heap_mb))
+      targets
+  in
+  let hwm_of i = match List.nth rows i with _, _, _, h, _ -> h in
+  let rss_ratio =
+    if hwm_of 0 > 0 then float_of_int (hwm_of 1) /. float_of_int (hwm_of 0)
+    else 0.0
+  in
+  Format.printf "  peak-RSS ratio (10x the requests): %.3fx — %s@." rss_ratio
+    (if rss_ratio > 0.0 && rss_ratio <= 2.0 then "flat"
+     else if rss_ratio = 0.0 then "unavailable"
+     else "NOT FLAT");
+  let json =
+    let row_json (target, (r : F.result), seconds, hwm, heap_mb) =
+      Printf.sprintf
+        "    { \"request_target\": %d, \"completed\": %d, \"seconds\": %.6f, \
+         \"requests_per_sec\": %.1f, \"p99_ns\": %.0f, \"cgroup_storms\": %d, \
+         \"peak_rss_kb\": %d, \"top_heap_mb\": %.2f }"
+        target r.F.completed seconds
+        (if seconds > 0.0 then float_of_int r.F.completed /. seconds else 0.0)
+        r.F.p99
+        (r.F.cgroup_creates + r.F.cgroup_destroys)
+        hwm heap_mb
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"ktenant-memory-flatness\",\n\
+      \  \"seed\": %d,\n\
+      \  \"scale\": %S,\n\
+      \  \"tenants\": 64,\n\
+      \  \"churn_per_day\": 8.0,\n\
+      \  \"policy\": \"docker\",\n\
+      \  \"peak_rss_ratio\": %.3f,\n\
+      \  \"rss_flat\": %b,\n\
+      \  \"rows\": [\n%s\n  ]\n\
+       }\n"
+      seed
+      (match scale with E.Quick -> "quick" | E.Full -> "full")
+      rss_ratio
+      (rss_ratio > 0.0 && rss_ratio <= 2.0)
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  Ksurf.Fileio.write_atomic ~path:"BENCH_tenancy.json" (fun oc ->
+      output_string oc json);
+  Format.printf "  wrote BENCH_tenancy.json@.";
+  (* The Streamstat claim is unconditional, so gate on it: a 10x
+     request count must not double the peak RSS.  (0 = /proc absent;
+     don't fail platforms that can't measure.) *)
+  if rss_ratio > 2.0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator core.                     *)
 
 let micro_tests () =
@@ -313,6 +436,10 @@ let () =
     | ("--jobs" | "-j") :: n :: rest ->
         let _, kept = parse_jobs rest in
         (Some (max 1 (int_of_string n)), kept)
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        let _, kept = parse_jobs rest in
+        let n = String.sub a 7 (String.length a - 7) in
+        (Some (max 1 (int_of_string n)), kept)
     | a :: rest ->
         let jobs, kept = parse_jobs rest in
         (jobs, a :: kept)
@@ -337,7 +464,7 @@ let () =
     List.exists (fun (name, _) -> wants_exp name) experiments
   in
   if any_experiment then
-    Ksurf.Pool.with_pool ?jobs (fun pool ->
+    Ksurf.Pool.with_pool ~jobs:(Ksurf.Pool.resolve_jobs ?cli:jobs ()) (fun pool ->
         let corpus =
           timed "corpus generation" (fun () -> E.default_corpus ~seed scale)
         in
@@ -348,4 +475,6 @@ let () =
           experiments);
   if List.mem "sweep" selected then
     timed "sweep" (fun () -> run_sweep ~seed ~scale ~gate_speedup);
+  if List.mem "tenancy" selected then
+    timed "tenancy" (fun () -> run_tenancy ~seed ~scale);
   if wants "micro" then timed "micro" run_micro

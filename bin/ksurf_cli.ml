@@ -49,7 +49,10 @@ let jobs_arg =
   let env = Cmd.Env.info "KSURF_JOBS" ~doc in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
 
-let with_pool jobs f = Ksurf.Pool.with_pool ?jobs f
+(* Cmdliner hands us the flag when given, else the parsed KSURF_JOBS
+   value; Pool.resolve_jobs owns the precedence rule either way. *)
+let with_pool jobs f =
+  Ksurf.Pool.with_pool ~jobs:(Ksurf.Pool.resolve_jobs ?cli:jobs ()) f
 
 (* --- resumable sweeps ------------------------------------------------- *)
 
@@ -914,6 +917,209 @@ let recover_cmd =
       const recover $ seed_arg $ scale_arg $ soak $ export_dir $ journal_arg
       $ resume_arg $ jobs_arg $ logs_term)
 
+(* --- tenancy ----------------------------------------------------------- *)
+
+(* ktenant driver.  Default form sweeps (policy x tenants x churn)
+   fleet cells and prints the per-cell table plus the SLO frontier.
+   [--smoke] is the `make check` gate: double-run a small churny
+   adaptive fleet under the determinism checker with lockdep +
+   invariants attached to the first run, then sanity-check the SLO
+   accounting; any replay divergence, sanitizer finding or accounting
+   inconsistency exits nonzero. *)
+let tenancy seed scale smoke tenants churns policies export_dir journal_path
+    resume jobs () =
+  let module A = Ksurf.Analysis in
+  let module F = Ksurf.Fleet in
+  let module P = Ksurf.Tenant_policy in
+  if smoke then begin
+    let cfg =
+      {
+        F.default_config with
+        F.tenants = 24;
+        churn_per_day = 16.0;
+        policy = P.Adaptive;
+        seed;
+        host_cores = 16;
+        day_ns = 4e8;
+        days = 1.0;
+        mean_rate_per_s = 40.0;
+        epoch_ns = 5e7;
+      }
+    in
+    let last = ref None in
+    let findings = ref [] in
+    let static_done = ref false in
+    let run_once ~probe =
+      let static = ref None in
+      let engine_ref = ref None in
+      let result =
+        timed "tenancy fleet" (fun () ->
+            F.run
+              ~on_engine:(fun engine ->
+                engine_ref := Some engine;
+                Ksurf.Engine.add_probe engine probe;
+                if not !static_done then begin
+                  let lockdep = A.Lockdep.create () in
+                  let invariants = A.Invariants.create () in
+                  Ksurf.Engine.add_probe engine (A.Lockdep.on_event lockdep);
+                  Ksurf.Engine.add_probe engine
+                    (A.Invariants.on_event invariants);
+                  static := Some (lockdep, invariants)
+                end)
+              cfg)
+      in
+      last := Some result;
+      match !static with
+      | None -> ()
+      | Some (lockdep, invariants) ->
+          static_done := true;
+          let drained =
+            match !engine_ref with
+            | Some e -> Ksurf.Engine.pending e = 0
+            | None -> false
+          in
+          findings :=
+            !findings
+            @ A.Lockdep.finish ~drained lockdep
+            @ A.Invariants.finish ~drained invariants
+    in
+    let det =
+      timed "tenancy" (fun () ->
+          A.Determinism.check ~run:(fun ~probe -> run_once ~probe) ())
+    in
+    findings := !findings @ A.Determinism.to_findings det;
+    let r = match !last with Some r -> r | None -> assert false in
+    Format.printf "tenancy smoke seed=%d: %d tenants, churn %.0f/day, %s@."
+      seed cfg.F.tenants cfg.F.churn_per_day (P.name cfg.F.policy);
+    Format.printf
+      "  %d requests, %d arrivals, %d departures, %d cgroup storms \
+       (%d create / %d destroy, peak %d live), %d migrations@."
+      r.F.completed r.F.arrivals r.F.departures
+      (r.F.cgroup_creates + r.F.cgroup_destroys)
+      r.F.cgroup_creates r.F.cgroup_destroys r.F.peak_cgroups r.F.migrations;
+    Format.printf "  replay: %d vs %d events, hash %08x vs %08x — %s@."
+      det.A.Determinism.events_first det.A.Determinism.events_second
+      det.A.Determinism.hash_first det.A.Determinism.hash_second
+      (if A.Determinism.deterministic det then "identical" else "DIVERGENT");
+    (* SLO accounting must be internally consistent whatever the
+       latencies came out to. *)
+    let bad fmt = Format.kasprintf (fun m -> Some m) fmt in
+    let accounting =
+      List.filter_map Fun.id
+        [
+          (if r.F.completed <= 0 then bad "no requests completed" else None);
+          (if r.F.attainment < 0.0 || r.F.attainment > 1.0 then
+             bad "attainment %.3f outside [0,1]" r.F.attainment
+           else None);
+          (if r.F.slo_met > r.F.measured then
+             bad "slo_met %d > measured %d" r.F.slo_met r.F.measured
+           else None);
+          (if r.F.measured > cfg.F.tenants + r.F.arrivals then
+             bad "measured %d exceeds tenants ever admitted" r.F.measured
+           else None);
+          (if r.F.cgroup_destroys > r.F.cgroup_creates then
+             bad "cgroup destroys %d > creates %d" r.F.cgroup_destroys
+               r.F.cgroup_creates
+           else None);
+          (if r.F.departures > r.F.arrivals + cfg.F.tenants then
+             bad "departures %d exceed population" r.F.departures
+           else None);
+        ]
+    in
+    List.iter (fun m -> Format.printf "  FAIL: %s@." m) accounting;
+    List.iter (fun f -> Format.printf "  %a@." A.Finding.pp f) !findings;
+    if accounting <> [] || !findings <> [] then exit 1;
+    Format.printf
+      "  no findings: churny fleet is deterministic, clean, accounting \
+       consistent@."
+  end
+  else begin
+    let journal = journal_of journal_path resume in
+    let tenants = match tenants with [] -> None | l -> Some l in
+    let churns = match churns with [] -> None | l -> Some l in
+    let policies =
+      match policies with
+      | [] -> None
+      | l ->
+          Some
+            (List.map
+               (fun s ->
+                 match Ksurf.Tenant_policy.of_string s with
+                 | Some p -> p
+                 | None ->
+                     Format.eprintf "unknown policy %S (%s)@." s
+                       (String.concat "|" Ksurf.Tenant_policy.names);
+                     exit 2)
+               l)
+    in
+    let t =
+      with_pool jobs (fun pool ->
+          timed "tenancy" (fun () ->
+              E.Tenancy.run ~seed ~scale ?tenants ?churns ?policies ?journal
+                ~pool ()))
+    in
+    Format.printf "%a@." E.Tenancy.pp t;
+    (match export_dir with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun p -> Format.printf "wrote %s@." p)
+          (Ksurf.Export.tenancy ~dir t))
+  end
+
+let tenancy_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Gate mode: double-run a churny adaptive fleet under the \
+             sanitizers and check the SLO accounting; exit nonzero on \
+             divergence, findings or inconsistency.")
+  in
+  let tenants =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "tenants" ] ~docv:"N,..."
+          ~doc:"Tenant counts to sweep (default depends on --scale).")
+  in
+  let churns =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "churn" ] ~docv:"R,..."
+          ~doc:
+            "Per-tenant churn rates to sweep, in lifecycle events per \
+             tenant per virtual day (default depends on --scale).")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "policy" ] ~docv:"P,..."
+          ~doc:
+            "Placement policies to sweep: $(b,native-shared), $(b,docker), \
+             $(b,kvm), $(b,multikernel) or $(b,adaptive) (default: all).")
+  in
+  let export_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:"Write tenancy.csv into $(docv) (study mode only).")
+  in
+  Cmd.v
+    (Cmd.info "tenancy"
+       ~doc:
+         "ktenant study: fleet-scale multi-tenant serving under churn and \
+          diurnal load — placement policy x tenant count x churn rate, \
+          with per-tenant p99 SLO autoscaling")
+    Term.(
+      const tenancy $ seed_arg $ scale_arg $ smoke $ tenants $ churns
+      $ policies $ export_dir $ journal_arg $ resume_arg $ jobs_arg
+      $ logs_term)
+
 let all_cmd =
   experiment_cmd "all" ~doc:"Run every experiment in sequence"
     (fun ~seed ~scale ~pool ->
@@ -947,6 +1153,7 @@ let main_cmd =
       staticcheck_cmd;
       dose_cmd;
       recover_cmd;
+      tenancy_cmd;
       table1_cmd;
       table2_cmd;
       fig2_cmd;

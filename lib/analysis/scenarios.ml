@@ -26,6 +26,7 @@ type t =
   | Specialized_varbench
   | Recovered_bsp
   | Parallel_sweep
+  | Tenancy
 
 let all =
   [
@@ -38,6 +39,7 @@ let all =
     Specialized_varbench;
     Recovered_bsp;
     Parallel_sweep;
+    Tenancy;
   ]
 
 let to_string = function
@@ -50,6 +52,7 @@ let to_string = function
   | Specialized_varbench -> "specialized-varbench"
   | Recovered_bsp -> "recovered-bsp"
   | Parallel_sweep -> "parallel-sweep"
+  | Tenancy -> "tenancy"
 
 let of_string = function
   | "varbench" -> Some Varbench
@@ -61,6 +64,7 @@ let of_string = function
   | "specialized-varbench" -> Some Specialized_varbench
   | "recovered-bsp" -> Some Recovered_bsp
   | "parallel-sweep" -> Some Parallel_sweep
+  | "tenancy" -> Some Tenancy
   | _ -> None
 
 (* Scenarios the sanitizers must pass on; [Inversion] is the negative
@@ -77,6 +81,7 @@ let stock =
     Specialized_varbench;
     Recovered_bsp;
     Parallel_sweep;
+    Tenancy;
   ]
 
 let small_corpus ~seed =
@@ -323,6 +328,29 @@ let run_parallel_sweep ~seed ~on_engine =
         failwith "parallel-sweep: journal has duplicate or spurious cells");
   cell ~observe:true 0
 
+(* Tenancy variant: a small churny adaptive fleet.  Tenant admission
+   and departure drive cgroup create/destroy storms through the shared
+   accounting locks (Cgroup_css -> Tasklist nesting), autoscaling reads
+   epoch quantiles, and adaptive placement may migrate tenants between
+   substrates mid-run — all of which must stay deterministic and
+   lockdep-clean under the sanitizers. *)
+let run_tenancy ~seed ~on_engine =
+  let module Fleet = Ksurf_tenant.Fleet in
+  let module Policy = Ksurf_tenant.Policy in
+  ignore
+    (Fleet.run ~on_engine
+       {
+         Fleet.default_config with
+         Fleet.tenants = 16;
+         churn_per_day = 16.0;
+         policy = Policy.Adaptive;
+         seed;
+         host_cores = 16;
+         day_ns = 4e8;
+         mean_rate_per_s = 40.0;
+         epoch_ns = 5e7;
+       })
+
 let run t ~seed ~on_engine =
   match t with
   | Varbench -> run_varbench ~seed ~on_engine
@@ -334,3 +362,4 @@ let run t ~seed ~on_engine =
   | Specialized_varbench -> run_specialized_varbench ~seed ~on_engine
   | Recovered_bsp -> run_recovered_bsp ~seed ~on_engine
   | Parallel_sweep -> run_parallel_sweep ~seed ~on_engine
+  | Tenancy -> run_tenancy ~seed ~on_engine

@@ -17,7 +17,10 @@
     mutex-guarded {!Ksurf_recov.Journal} (the parallel phase runs
     unobserved because probes are not thread-safe; the journal is
     verified on reload and one cell re-runs sequentially under
-    [on_engine] for the sanitizers). *)
+    [on_engine] for the sanitizers) — plus a [Tenancy] variant running
+    a small churny adaptive {!Ksurf_tenant.Fleet}: lifecycle storms
+    through the shared cgroup accounting locks, epoch-driven
+    autoscaling and adaptive migration, all under the sanitizers. *)
 
 type t =
   | Varbench
@@ -29,6 +32,7 @@ type t =
   | Specialized_varbench
   | Recovered_bsp
   | Parallel_sweep
+  | Tenancy
 
 val all : t list
 

@@ -730,7 +730,7 @@ module Dose = struct
   module Plan = Ksurf_fault.Plan
   module Kfault = Ksurf_fault.Kfault
   module Quantile = Ksurf_stats.Quantile
-  module Samples = Ksurf_varbench.Samples
+  module Streamstat = Ksurf_stats.Streamstat
 
   type cell = {
     env : string;
@@ -757,13 +757,6 @@ module Dose = struct
   let default_plan () =
     match Plan.preset "mixed" with Some p -> p | None -> assert false
 
-  let all_samples (result : Harness.result) =
-    Array.concat
-      (Array.to_list
-         (Array.map
-            (fun (s : Harness.site) -> Samples.to_array s.Harness.samples)
-            result.Harness.sites))
-
   let cell_key (env_name, _, _, intensity) =
     Printf.sprintf "dose:%s:%.2f" env_name intensity
 
@@ -789,25 +782,45 @@ module Dose = struct
             Harness.run ~env ~corpus ~params:(harness_params scale) ()
           in
           Kfault.disarm kf;
-          let samples = all_samples result in
-          let n = Array.length samples in
-          let mean =
-            if n = 0 then 0.0
-            else Array.fold_left ( +. ) 0.0 samples /. float_of_int n
-          in
-          let var =
-            if n = 0 then 0.0
-            else
-              Array.fold_left
-                (fun acc x ->
-                  acc +. (((x -. mean) *. (x -. mean)) /. float_of_int n))
-                0.0 samples
+          (* Exact at seed scale (byte-identical to the historical
+             concatenated-array computation); streaming estimates from
+             [result.overall] once any site spills its exact buffer. *)
+          let p99, cov =
+            match Study.pooled_samples result with
+            | Some samples ->
+                let n = Array.length samples in
+                let mean =
+                  if n = 0 then 0.0
+                  else Array.fold_left ( +. ) 0.0 samples /. float_of_int n
+                in
+                let var =
+                  if n = 0 then 0.0
+                  else
+                    Array.fold_left
+                      (fun acc x ->
+                        acc +. (((x -. mean) *. (x -. mean)) /. float_of_int n))
+                      0.0 samples
+                in
+                ( (if n = 0 then 0.0 else Quantile.p99 samples),
+                  if mean > 0.0 then sqrt var /. mean else 0.0 )
+            | None ->
+                let o = result.Harness.overall in
+                let n = Streamstat.count o in
+                let mean = Streamstat.mean o in
+                let var =
+                  if n < 2 then 0.0
+                  else
+                    Streamstat.variance o
+                    *. (float_of_int (n - 1) /. float_of_int n)
+                in
+                ( Streamstat.p99 o,
+                  if mean > 0.0 then sqrt var /. mean else 0.0 )
           in
           {
             env = env_name;
             intensity;
-            p99 = (if n = 0 then 0.0 else Quantile.p99 samples);
-            cov = (if mean > 0.0 then sqrt var /. mean else 0.0);
+            p99;
+            cov;
             injections = Kfault.total_injections kf;
             retries = result.Harness.transient_retries;
             degraded = result.Harness.degraded;
@@ -871,7 +884,7 @@ module Specialize = struct
   module Profile = Ksurf_spec.Profile
   module Specializer = Ksurf_spec.Specializer
   module Quantile = Ksurf_stats.Quantile
-  module Samples = Ksurf_varbench.Samples
+  module Streamstat = Ksurf_stats.Streamstat
 
   type row = {
     env : string;
@@ -900,13 +913,6 @@ module Specialize = struct
     | Some c -> c
     | None -> full
 
-  let all_samples (result : Harness.result) =
-    Array.concat
-      (Array.to_list
-         (Array.map
-            (fun (s : Harness.site) -> Samples.to_array s.Harness.samples)
-            result.Harness.sites))
-
   (* Variability, the varbench way: the bucket metric summarizes the
      distribution of per-site statistics, so the headline ratio does
      too — the fleet's median per-site p99 over its median per-site
@@ -919,9 +925,13 @@ module Specialize = struct
     Quantile.median p99s /. Quantile.median p50s
 
   let measure ~name ~env (result : Harness.result) =
-    let samples = all_samples result in
-    let p50 = Quantile.median samples in
-    let p99 = Quantile.p99 samples in
+    let p50, p99 =
+      match Study.pooled_samples result with
+      | Some samples -> (Quantile.median samples, Quantile.p99 samples)
+      | None ->
+          ( Streamstat.p50 result.Harness.overall,
+            Streamstat.p99 result.Harness.overall )
+    in
     let stats = Study.site_stats result in
     let ranks = Env.rank_count env in
     let surface = ref 0.0 in
@@ -1169,4 +1179,154 @@ module Recover = struct
           "ckpts";
         ]
       ~rows ppf
+end
+
+module Tenancy = struct
+  module Fleet = Ksurf_tenant.Fleet
+  module Policy = Ksurf_tenant.Policy
+
+  type cell = Fleet.result
+
+  type t = { slo_ns : float; cells : cell list }
+
+  let default_policies =
+    [
+      Policy.Static Policy.Native;
+      Policy.Static Policy.Docker;
+      Policy.Static Policy.Kvm;
+      Policy.Static Policy.Multikernel;
+      Policy.Adaptive;
+    ]
+
+  let default_tenants = function Quick -> [ 32 ] | Full -> [ 128; 512 ]
+  let default_churns = function Quick -> [ 0.0; 8.0 ] | Full -> [ 0.0; 4.0; 16.0 ]
+
+  (* The fleet shape a sweep cell gets: the scale knob only sets how
+     much virtual time each cell simulates — the tenant population and
+     churn come from the sweep axes. *)
+  let fleet_config ~seed ~scale ~policy ~tenants ~churn =
+    let base = Fleet.default_config in
+    let day_ns = match scale with Quick -> 5e8 | Full -> 2e9 in
+    {
+      base with
+      Fleet.tenants;
+      churn_per_day = churn;
+      policy;
+      seed;
+      day_ns;
+    }
+
+  let cell_key (policy, tenants, churn) =
+    Printf.sprintf "tenancy:%s:%d:%.2f" (Policy.name policy) tenants churn
+
+  let run ?(seed = 42) ?(scale = Full) ?tenants ?churns ?policies ?journal
+      ?pool () =
+    let tenants =
+      match tenants with Some l -> l | None -> default_tenants scale
+    in
+    let churns = match churns with Some l -> l | None -> default_churns scale in
+    let policies =
+      match policies with Some l -> l | None -> default_policies
+    in
+    let specs =
+      List.concat_map
+        (fun policy ->
+          List.concat_map
+            (fun n -> List.map (fun churn -> (policy, n, churn)) churns)
+            tenants)
+        policies
+    in
+    let cells =
+      Sweep.run ?pool ?journal ~key:cell_key
+        (fun (policy, tenants, churn) ->
+          Fleet.run (fleet_config ~seed ~scale ~policy ~tenants ~churn))
+        specs
+    in
+    { slo_ns = Fleet.default_config.Fleet.slo_ns; cells }
+
+  let cell t ~policy ~tenants ~churn =
+    List.find_opt
+      (fun (c : cell) ->
+        c.Fleet.policy = policy
+        && c.Fleet.tenants = tenants
+        && c.Fleet.churn_per_day = churn)
+      t.cells
+
+  (* The headline: per policy, the largest (tenants, churn) cell that
+     still attains the SLO for at least [floor] of its tenants. *)
+  let frontier ?(floor = 0.95) t =
+    let policies =
+      List.sort_uniq compare
+        (List.map (fun (c : cell) -> c.Fleet.policy) t.cells)
+    in
+    List.map
+      (fun p ->
+        let mine =
+          List.filter
+            (fun (c : cell) ->
+              c.Fleet.policy = p && c.Fleet.attainment >= floor)
+            t.cells
+        in
+        let best =
+          List.fold_left
+            (fun acc (c : cell) ->
+              match acc with
+              | None -> Some c
+              | Some (b : cell) ->
+                  if
+                    c.Fleet.tenants > b.Fleet.tenants
+                    || (c.Fleet.tenants = b.Fleet.tenants
+                        && c.Fleet.churn_per_day > b.Fleet.churn_per_day)
+                  then Some c
+                  else acc)
+            None mine
+        in
+        (p, best))
+      policies
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "Tenancy study: fleet p99 and SLO attainment (p99 <= %.0f us per \
+       tenant) by policy x tenants x churn@.@."
+      (t.slo_ns /. 1e3);
+    let rows =
+      List.map
+        (fun (c : cell) ->
+          [
+            c.Fleet.policy;
+            string_of_int c.Fleet.tenants;
+            Printf.sprintf "%.1f" c.Fleet.churn_per_day;
+            string_of_int c.Fleet.completed;
+            Printf.sprintf "%.1f" (c.Fleet.p50 /. 1e3);
+            Printf.sprintf "%.1f" (c.Fleet.p99 /. 1e3);
+            Printf.sprintf "%.3f" c.Fleet.attainment;
+            string_of_int c.Fleet.epoch_violations;
+            string_of_int (c.Fleet.cgroup_creates + c.Fleet.cgroup_destroys);
+            string_of_int c.Fleet.migrations;
+            string_of_int
+              (c.Fleet.scale_ups + c.Fleet.scale_downs);
+          ])
+        t.cells
+    in
+    Report.table
+      ~header:
+        [
+          "policy"; "tenants"; "churn/day"; "requests"; "p50 (us)"; "p99 (us)";
+          "slo attain"; "viol epochs"; "cg storms"; "migr"; "scale";
+        ]
+      ~rows ppf;
+    Format.fprintf ppf
+      "@.SLO frontier (largest cell with >= 95%% of measured tenants \
+       attaining):@.";
+    List.iter
+      (fun (p, best) ->
+        match best with
+        | Some (c : cell) ->
+            Format.fprintf ppf
+              "  %-13s  %4d tenants at churn %4.1f/day  (attainment %.3f, \
+               p99 %.1f us)@."
+              p c.Fleet.tenants c.Fleet.churn_per_day c.Fleet.attainment
+              (c.Fleet.p99 /. 1e3)
+        | None -> Format.fprintf ppf "  %-13s  no cell attains the floor@." p)
+      (frontier t)
 end

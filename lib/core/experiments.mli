@@ -351,3 +351,49 @@ module Recover : sig
 
   val pp : Format.formatter -> t -> unit
 end
+
+(** Fleet tenancy study (ktenant): hundreds of churning tenants on
+    shared or private kernels, with per-tenant p99 SLO autoscaling.
+    The headline is the SLO frontier: for each placement policy, the
+    largest (tenant count, churn rate) cell whose per-tenant SLO
+    attainment stays above a floor. *)
+module Tenancy : sig
+  type cell = Ksurf_tenant.Fleet.result
+
+  type t = { slo_ns : float; cells : cell list }
+
+  val default_policies : Ksurf_tenant.Policy.t list
+  (** All five: native-shared, docker, kvm, multikernel, adaptive. *)
+
+  val default_tenants : scale -> int list
+  val default_churns : scale -> float list
+
+  val fleet_config :
+    seed:int -> scale:scale -> policy:Ksurf_tenant.Policy.t ->
+    tenants:int -> churn:float -> Ksurf_tenant.Fleet.config
+  (** The per-cell fleet shape: [scale] only sets the virtual day
+      length (cheap quick days, full-length full days). *)
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?tenants:int list -> ?churns:float list ->
+    ?policies:Ksurf_tenant.Policy.t list -> ?journal:Ksurf_recov.Journal.t ->
+    ?pool:Ksurf_par.Pool.t -> unit -> t
+  (** One fleet simulation per (policy x tenants x churn) cell through
+      the kpar sweep.  With [journal], cells already recorded (keys
+      [tenancy:<policy>:<tenants>:<churn>]) are skipped and omitted
+      from the result. *)
+
+  val cell_key : Ksurf_tenant.Policy.t * int * float -> string
+  (** Journal key for one sweep cell:
+      [tenancy:<policy>:<tenants>:<churn>]. *)
+
+  val cell : t -> policy:string -> tenants:int -> churn:float -> cell option
+
+  val frontier :
+    ?floor:float -> t -> (string * cell option) list
+  (** Per policy, the largest cell (by tenants, then churn) attaining
+      the SLO for at least [floor] (default 0.95) of measured tenants;
+      [None] if no cell qualifies. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -232,3 +232,48 @@ let specialize ~dir (t : E.Specialize.t) =
            ])
          t.E.Specialize.rows);
   [ p ]
+
+let tenancy ~dir (t : E.Tenancy.t) =
+  let p = path dir "tenancy.csv" in
+  Csv.write ~path:p
+    ~header:
+      [ "policy"; "tenants"; "churn_per_day"; "completed"; "mean_ns";
+        "p50_ns"; "p95_ns"; "p99_ns"; "max_ns"; "slo_ns"; "measured";
+        "slo_met"; "attainment"; "epoch_violations"; "arrivals";
+        "departures"; "cgroup_creates"; "cgroup_destroys"; "migrations";
+        "scale_ups"; "scale_downs"; "peak_cgroups"; "final_native";
+        "final_docker"; "final_kvm"; "final_mk" ]
+    ~rows:
+      (List.map
+         (fun (c : E.Tenancy.cell) ->
+           let module F = Ksurf_tenant.Fleet in
+           [
+             c.F.policy;
+             string_of_int c.F.tenants;
+             Printf.sprintf "%.2f" c.F.churn_per_day;
+             string_of_int c.F.completed;
+             Printf.sprintf "%.0f" c.F.mean;
+             Printf.sprintf "%.0f" c.F.p50;
+             Printf.sprintf "%.0f" c.F.p95;
+             Printf.sprintf "%.0f" c.F.p99;
+             Printf.sprintf "%.0f" c.F.max;
+             Printf.sprintf "%.0f" c.F.slo_ns;
+             string_of_int c.F.measured;
+             string_of_int c.F.slo_met;
+             Printf.sprintf "%.4f" c.F.attainment;
+             string_of_int c.F.epoch_violations;
+             string_of_int c.F.arrivals;
+             string_of_int c.F.departures;
+             string_of_int c.F.cgroup_creates;
+             string_of_int c.F.cgroup_destroys;
+             string_of_int c.F.migrations;
+             string_of_int c.F.scale_ups;
+             string_of_int c.F.scale_downs;
+             string_of_int c.F.peak_cgroups;
+             string_of_int c.F.final_native;
+             string_of_int c.F.final_docker;
+             string_of_int c.F.final_kvm;
+             string_of_int c.F.final_mk;
+           ])
+         t.E.Tenancy.cells);
+  [ p ]

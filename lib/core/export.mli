@@ -28,3 +28,8 @@ val recover : dir:string -> Experiments.Recover.t -> string list
     the same policy's crash-free baseline, straggler factor, and the
     crash / restart / backup / death / transition / checkpoint
     counters. *)
+
+val tenancy : dir:string -> Experiments.Tenancy.t -> string list
+(** One row per (policy, tenants, churn) fleet cell: latency summary,
+    SLO attainment, churn-storm and autoscaling counters, and the
+    final placement-class census. *)

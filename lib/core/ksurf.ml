@@ -40,6 +40,7 @@ module Histogram = Ksurf_stats.Histogram
 module Kde = Ksurf_stats.Kde
 module Violin = Ksurf_stats.Violin
 module P2_quantile = Ksurf_stats.P2_quantile
+module Streamstat = Ksurf_stats.Streamstat
 
 module Engine = Ksurf_sim.Engine
 module Lock = Ksurf_sim.Lock
@@ -85,6 +86,10 @@ module Samples = Ksurf_varbench.Samples
 module Harness = Ksurf_varbench.Harness
 module Study = Ksurf_varbench.Study
 module Noise = Ksurf_varbench.Noise
+
+module Workload = Ksurf_tenant.Workload
+module Tenant_policy = Ksurf_tenant.Policy
+module Fleet = Ksurf_tenant.Fleet
 
 module Apps = Ksurf_tailbench.Apps
 module Service = Ksurf_tailbench.Service

@@ -14,11 +14,16 @@ let daemon_names = [ "jbd2"; "kswapd"; "load_balancer"; "cgroup_flusher" ]
    kernel surface areas shrink the collision tails without any workload
    change. *)
 
-let forever ~interval ~rng body =
+(* "Forever" until the instance is halted: a decommissioned guest's
+   daemons exit at their next wakeup, so retired kernels stop
+   generating events. *)
+let forever ~inst ~interval ~rng body =
   let rec loop () =
     Engine.delay (Dist.sample interval rng);
-    body ();
-    loop ()
+    if not (Instance.halted inst) then begin
+      body ();
+      loop ()
+    end
   in
   loop
 
@@ -116,7 +121,7 @@ let start inst =
       let phase = Prng.float rng (Dist.mean_estimate interval) in
       Engine.spawn engine (fun () ->
           Engine.delay phase;
-          forever ~interval ~rng (body inst rng) ())
+          forever ~inst ~interval ~rng (body inst rng) ())
     in
     (* Per-daemon switches: a specialized kernel spawns only the
        daemons its retained syscall categories need. *)

@@ -52,6 +52,10 @@ type t = {
      daemons' lock holds (a daemon storm). *)
   mutable burn_mult : float;
   mutable daemon_hold_mult : (string -> float) option;
+  (* Shutdown: background daemons exit at their next wakeup instead of
+     looping forever, so a decommissioned guest (a departed tenant's
+     private kernel) stops generating events and can be collected. *)
+  mutable halted : bool;
   (* Specialization state, written by kspec (lib/spec): per-tenant
      syscall policies on a shared instance (seccomp-style filters
      installed per process).  Consulted by Env on every syscall. *)
@@ -131,6 +135,7 @@ let boot ~engine ~config ~id ~cores ~mem_mb ?block_dev () =
     activity = Array.make 4 0;
     burn_mult = 1.0;
     daemon_hold_mult = None;
+    halted = false;
     policies = Hashtbl.create 8;
   }
 
@@ -157,6 +162,8 @@ let register_cgroup t =
 let cgroup_count t = t.cgroups
 let block_dev t = t.block_dev
 let rng t = t.rng
+let halt t = t.halted <- true
+let halted t = t.halted
 
 (* --- fault-injection controls (kfault) ------------------------------- *)
 
@@ -408,6 +415,51 @@ let rec exec_op t ctx (op : Ops.op) =
   | Ops.Sleep dist -> Engine.delay (sample t dist)
 
 let exec_program t ctx ops = List.iter (exec_op t ctx) ops
+
+(* --- cgroup lifecycle (ktenant churn storms) ------------------------- *)
+
+let unregister_cgroup t = t.cgroups <- max 0 (t.cgroups - 1)
+
+let cgroup_create t ctx =
+  let id = register_cgroup t in
+  let ctx = { ctx with cgroup = Some id } in
+  (if t.config.Config.enable_cgroup_accounting then
+     let cfg = t.config in
+     (* mkdir: allocate the css, bring every controller online under
+        the css lock, attach the first task under the task list, then
+        prime the charge caches.  Runs as an ordinary op program so
+        probes see the storm exactly like syscall traffic. *)
+     exec_program t ctx
+       [
+         Ops.Slab_alloc;
+         Ops.With_lock
+           ( Ops.Cgroup_css,
+             Dist.scaled 4.0 cfg.Config.cgroup_charge_slow_hold,
+             [ Ops.Lock (Ops.Tasklist, Dist.scaled 2.0 cfg.Config.cgroup_charge_slow_hold) ]
+           );
+         Ops.Cgroup_charge;
+       ]);
+  id
+
+let cgroup_destroy t ctx ~cgroup =
+  let ctx = { ctx with cgroup = Some cgroup } in
+  (if t.config.Config.enable_cgroup_accounting then
+     let cfg = t.config in
+     (* rmdir: flush residual per-cpu stats into the shared subsystem
+        state — work that grows with the live cgroup population, the
+        same scaling the stats flusher pays — detach under the task
+        list, then wait out a grace period before the css is freed. *)
+     let flush_scale = 1.0 +. (float_of_int t.cgroups /. 64.0) in
+     exec_program t ctx
+       [
+         Ops.With_lock
+           ( Ops.Cgroup_css,
+             Dist.scaled (2.0 *. flush_scale) cfg.Config.flusher_hold_per_cgroup,
+             [ Ops.Lock (Ops.Tasklist, Dist.scaled 2.0 cfg.Config.cgroup_charge_slow_hold) ]
+           );
+         Ops.Rcu_sync;
+       ]);
+  unregister_cgroup t
 
 type lock_report = {
   lock_name : string;

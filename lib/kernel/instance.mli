@@ -58,6 +58,32 @@ val register_cgroup : t -> int
 
 val cgroup_count : t -> int
 
+val unregister_cgroup : t -> unit
+(** Drop one cgroup from the accounting population (floor 0).  Plain
+    bookkeeping — {!cgroup_destroy} is the simulated teardown path. *)
+
+val halt : t -> unit
+(** Decommission the instance: background daemons observe {!halted} and
+    exit at their next wakeup instead of looping forever, so the
+    instance stops generating events (a fleet retiring a departed
+    tenant's private kernel relies on this).  Syscall execution is not
+    blocked — in-flight requests drain normally. *)
+
+val halted : t -> bool
+
+val cgroup_create : t -> ctx -> int
+(** Allocate a cgroup id {e and} execute the creation storm: css
+    allocation and online under the css lock, first-task attach under
+    the task list, initial charge.  Must run inside a simulation
+    process; the storm is probe-visible like any syscall program.
+    Returns the new id. *)
+
+val cgroup_destroy : t -> ctx -> cgroup:int -> unit
+(** Execute the teardown storm for [cgroup] — residual stat flush under
+    the css lock (cost grows with the live cgroup population), detach
+    under the task list, RCU grace period — then unregister it.  Must
+    run inside a simulation process. *)
+
 val exec_op : t -> ctx -> Ops.op -> unit
 (** Interpret one op in virtual time.  Must run inside a simulation
     process of the instance's engine. *)

@@ -45,6 +45,12 @@ let default_jobs () =
       | Some _ | None -> fallback)
   | None -> fallback
 
+(* The one precedence rule for worker counts, shared by every binary:
+   an explicit CLI flag always beats the environment, which beats the
+   machine-derived default. *)
+let resolve_jobs ?cli () =
+  match cli with Some n -> max 1 n | None -> default_jobs ()
+
 let jobs t = t.jobs
 
 (* Claim-and-run until the batch has no unclaimed cells.  Runs on

@@ -24,6 +24,12 @@ val default_jobs : unit -> int
     [max 1 (Domain.recommended_domain_count () - 1)] — one domain is
     left for the OS and the submitting main loop. *)
 
+val resolve_jobs : ?cli:int -> unit -> int
+(** The worker-count precedence rule shared by [ksurf_cli] and
+    [bench/main.exe]: an explicit [--jobs] value ([cli], clamped to at
+    least 1) always wins over [KSURF_JOBS], which wins over the
+    machine-derived default ({!default_jobs}). *)
+
 val create : ?jobs:int -> unit -> t
 (** A pool running at most [jobs] (default {!default_jobs}) cells
     concurrently: [jobs - 1] worker domains plus the submitting domain.

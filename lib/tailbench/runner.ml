@@ -5,7 +5,7 @@ module Partition = Ksurf_env.Partition
 module Mailbox = Ksurf_sim.Mailbox
 module Prng = Ksurf_util.Prng
 module Quantile = Ksurf_stats.Quantile
-module Samples = Ksurf_varbench.Samples
+module Streamstat = Ksurf_stats.Streamstat
 module Noise = Ksurf_varbench.Noise
 
 type config = {
@@ -85,7 +85,24 @@ let run_single_node ~app ~kind ~contended ?(config = default_config)
     config.util_target *. float_of_int config.unit_cores /. mean_service
   in
   let mailbox = Mailbox.create ~engine ~name:(app.Apps.name ^ ".reqs") in
-  let latencies = Samples.create () in
+  (* Seed-scale runs keep every latency in the exact buffer, so the
+     retrospective warmup skip below reproduces the historical
+     array-based summary byte-for-byte.  Past the cap the run switches
+     to constant-memory streaming and the warmup is skipped online
+     instead: the first [requests x warmup_fraction] recorded latencies
+     are discarded as they arrive. *)
+  let streaming_mode = config.requests > Streamstat.default_exact_cap in
+  let latencies =
+    Streamstat.create
+      ~exact_cap:(if streaming_mode then 0 else Streamstat.default_exact_cap)
+      ()
+  in
+  let warmup_skip =
+    if streaming_mode then
+      int_of_float (float_of_int config.requests *. config.warmup_fraction)
+    else 0
+  in
+  let recorded = ref 0 in
   let completed = ref 0 in
   (* Robustness accounting: a fault plan (kfault) may schedule worker
      crashes; a crashed worker hands its request back to the mailbox so
@@ -151,7 +168,10 @@ let run_single_node ~app ~kind ~contended ?(config = default_config)
                    the deadline count as errors, not latency samples. *)
                 (match request_timeout_ns with
                 | Some deadline when latency > deadline -> incr timeouts
-                | _ -> Samples.add latencies latency);
+                | _ ->
+                    incr recorded;
+                    if !recorded > warmup_skip then
+                      Streamstat.add latencies latency);
                 incr completed;
                 serve ()
           in
@@ -174,24 +194,40 @@ let run_single_node ~app ~kind ~contended ?(config = default_config)
       !completed >= config.requests || (!client_done && !live = 0))
     engine;
   let wall_ns = Engine.now engine -. t0 in
-  let all = Samples.to_array latencies in
-  let skip = int_of_float (float_of_int (Array.length all) *. config.warmup_fraction) in
-  let measured = Array.sub all skip (Array.length all - skip) in
-  let s =
-    if Array.length measured = 0 then
-      { Quantile.count = 0; mean = 0.0; median = 0.0; p95 = 0.0; p99 = 0.0;
-        min = 0.0; max = 0.0 }
-    else Quantile.summarize measured
+  let count, mean, p95, p99, max =
+    match Streamstat.exact latencies with
+    | Some all ->
+        let skip =
+          int_of_float (float_of_int (Array.length all) *. config.warmup_fraction)
+        in
+        let measured = Array.sub all skip (Array.length all - skip) in
+        if Array.length measured = 0 then (0, 0.0, 0.0, 0.0, 0.0)
+        else
+          let s = Quantile.summarize measured in
+          ( s.Quantile.count,
+            s.Quantile.mean,
+            s.Quantile.p95,
+            s.Quantile.p99,
+            s.Quantile.max )
+    | None ->
+        let n = Streamstat.count latencies in
+        if n = 0 then (0, 0.0, 0.0, 0.0, 0.0)
+        else
+          ( n,
+            Streamstat.mean latencies,
+            Streamstat.p95 latencies,
+            Streamstat.p99 latencies,
+            Streamstat.max_value latencies )
   in
   {
     app_name = app.Apps.name;
     kind = Env.kind_name kind;
     contended;
-    count = s.Quantile.count;
-    mean = s.Quantile.mean;
-    p95 = s.Quantile.p95;
-    p99 = s.Quantile.p99;
-    max = s.Quantile.max;
+    count;
+    mean;
+    p95;
+    p99;
+    max;
     wall_ns;
     degraded = !live < worker_count;
     survivors = !live;

@@ -1,0 +1,591 @@
+module Engine = Ksurf_sim.Engine
+module Mailbox = Ksurf_sim.Mailbox
+module Prng = Ksurf_util.Prng
+module Dist = Ksurf_util.Dist
+module Streamstat = Ksurf_stats.Streamstat
+module P2 = Ksurf_stats.P2_quantile
+module Instance = Ksurf_kernel.Instance
+module Kernel = Ksurf_kernel.Kernel
+module Config = Ksurf_kernel.Config
+module Ops = Ksurf_kernel.Ops
+module Container = Ksurf_container.Container
+module Vm = Ksurf_virt.Vm
+module Virt_config = Ksurf_virt.Virt_config
+module Spec = Ksurf_syscalls.Spec
+
+type config = {
+  tenants : int;
+  churn_per_day : float;
+  policy : Policy.t;
+  seed : int;
+  hosts : int;  (* 0 = one host per 128 tenant slots *)
+  host_cores : int;
+  host_mem_mb : int;
+  day_ns : float;
+  days : float;
+  warmup_fraction : float;
+  mean_rate_per_s : float;
+  epoch_ns : float;
+  slo_ns : float;
+  max_replicas : int;
+  escalate_after : int;
+  min_epoch_samples : int;
+  min_tenant_samples : int;
+  request_target : int option;
+  kernel_config : Config.t;
+  virt : Virt_config.t;
+}
+
+let default_config =
+  {
+    tenants = 128;
+    churn_per_day = 4.0;
+    policy = Policy.Static Policy.Docker;
+    seed = 42;
+    hosts = 0;
+    host_cores = 64;
+    host_mem_mb = 262_144;
+    day_ns = 2e9;
+    days = 1.0;
+    warmup_fraction = 0.1;
+    mean_rate_per_s = 25.0;
+    epoch_ns = 1e8;
+    slo_ns = 2.5e5;
+    max_replicas = 4;
+    escalate_after = 3;
+    min_epoch_samples = 8;
+    min_tenant_samples = 20;
+    request_target = None;
+    kernel_config = Config.default;
+    virt = Virt_config.default;
+  }
+
+type result = {
+  policy : string;
+  tenants : int;
+  churn_per_day : float;
+  completed : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+  slo_ns : float;
+  measured : int;
+  slo_met : int;
+  attainment : float;
+  epoch_violations : int;
+  arrivals : int;
+  departures : int;
+  cgroup_creates : int;
+  cgroup_destroys : int;
+  migrations : int;
+  scale_ups : int;
+  scale_downs : int;
+  peak_cgroups : int;
+  final_native : int;
+  final_docker : int;
+  final_kvm : int;
+  final_mk : int;
+  virtual_ns : float;
+}
+
+type host = { inst : Instance.t; mutable sharers : int }
+
+type placement =
+  | Shared of host
+  | Contained of host * int  (* host, cgroup id *)
+  | Virtual of Vm.t
+  | Private of Instance.t
+
+type tenant = {
+  id : int;
+  slot : int;
+  profile : Workload.profile;
+  client_rng : Prng.t;
+  work_rng : Prng.t;
+  mailbox : float Mailbox.t;
+  mutable klass : Policy.klass;
+  mutable placement : placement;
+  mutable alive : bool;
+  mutable target_replicas : int;
+  mutable next_replica : int;
+  mutable bad_epochs : int;
+  stats : Streamstat.t;  (* streaming: lifetime post-warmup latencies *)
+  mutable epoch_p99 : P2.t;
+  mutable epoch_count : int;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  hosts : host array;
+  root_rng : Prng.t;
+  churn_rng : Prng.t;
+  t_end : float;
+  warmup_end : float;
+  mk_config : Config.t;
+  mutable live : tenant list;  (* live tenants, reverse admission order *)
+  (* Lifetime SLO verdicts folded in at departure, so departed tenant
+     records can be dropped: fleet memory tracks the live population,
+     not every tenant ever admitted. *)
+  mutable departed_measured : int;
+  mutable departed_slo_met : int;
+  mutable next_tenant : int;
+  mutable next_guest : int;
+  fleet_stats : Streamstat.t;
+  mutable completed : int;
+  mutable arrivals : int;
+  mutable departures : int;
+  mutable cgroup_creates : int;
+  mutable cgroup_destroys : int;
+  mutable migrations : int;
+  mutable scale_ups : int;
+  mutable scale_downs : int;
+  mutable epoch_violations : int;
+  mutable peak_cgroups : int;
+}
+
+(* kspec-style pruning for the private Multikernel tenants: keep only
+   the machinery some category of the service mix depends on — the same
+   move Specializer.kernel_config makes from a profiled corpus, derived
+   here directly from the tenant syscall mix. *)
+let mk_kernel_config base (mix : Spec.t array) =
+  let needed =
+    Array.fold_left
+      (fun acc s ->
+        List.concat_map Ops.machinery_of_category s.Spec.categories @ acc)
+      [] mix
+  in
+  List.fold_left
+    (fun cfg m -> if List.mem m needed then cfg else Config.without_machinery m cfg)
+    base Ops.all_machinery
+
+let vm_boot_delay_ns = 25e6
+let mk_boot_delay_ns = 5e6
+
+let host_of t slot = t.hosts.(slot mod Array.length t.hosts)
+
+let total_cgroups t =
+  Array.fold_left (fun acc h -> acc + Instance.cgroup_count h.inst) 0 t.hosts
+
+let refresh_sharers h = Instance.set_tenants h.inst h.sharers
+
+(* Placement transitions.  [place] and [release] must run inside a
+   simulation process: the Docker paths execute the cgroup
+   create/destroy storms on the shared host kernel. *)
+let place t (tn : tenant) (klass : Policy.klass) =
+  let h = host_of t tn.slot in
+  let ctx =
+    {
+      Instance.core = tn.slot mod t.cfg.host_cores;
+      tenant = tn.id;
+      key = 0;
+      cgroup = None;
+    }
+  in
+  let placement =
+    match klass with
+    | Policy.Native ->
+        h.sharers <- h.sharers + 1;
+        refresh_sharers h;
+        Shared h
+    | Policy.Docker ->
+        h.sharers <- h.sharers + 1;
+        refresh_sharers h;
+        let cg = Instance.cgroup_create h.inst ctx in
+        t.cgroup_creates <- t.cgroup_creates + 1;
+        t.peak_cgroups <- max t.peak_cgroups (total_cgroups t);
+        Contained (h, cg)
+    | Policy.Kvm ->
+        let id = t.next_guest in
+        t.next_guest <- t.next_guest + 1;
+        let vm =
+          Vm.boot ~engine:t.engine ~host_block:(Instance.block_dev h.inst)
+            ~kernel_config:t.cfg.kernel_config ~virt:t.cfg.virt ~id
+            { Vm.vcpus = t.cfg.max_replicas; mem_mb = 2048 }
+        in
+        Engine.delay vm_boot_delay_ns;
+        Virtual vm
+    | Policy.Multikernel ->
+        let id = t.next_guest in
+        t.next_guest <- t.next_guest + 1;
+        let inst =
+          Kernel.boot ~engine:t.engine ~config:t.mk_config ~id:(100_000 + id)
+            ~cores:t.cfg.max_replicas ~mem_mb:2048
+            ~block_dev:(Instance.block_dev h.inst) ()
+        in
+        Engine.delay mk_boot_delay_ns;
+        Private inst
+  in
+  tn.klass <- klass;
+  tn.placement <- placement
+
+let release t (tn : tenant) =
+  match tn.placement with
+  | Shared h ->
+      h.sharers <- max 0 (h.sharers - 1);
+      refresh_sharers h
+  | Contained (h, cg) ->
+      let ctx =
+        {
+          Instance.core = tn.slot mod t.cfg.host_cores;
+          tenant = tn.id;
+          key = 0;
+          cgroup = Some cg;
+        }
+      in
+      Instance.cgroup_destroy h.inst ctx ~cgroup:cg;
+      t.cgroup_destroys <- t.cgroup_destroys + 1;
+      h.sharers <- max 0 (h.sharers - 1);
+      refresh_sharers h
+  | Virtual vm ->
+      (* Decommission the abandoned guest: its daemons exit at their
+         next wakeup, so retired kernels stop generating events. *)
+      Vm.shutdown vm
+  | Private inst -> Instance.halt inst
+
+(* One request on whatever boundary the tenant currently has.  Reads
+   [tn.placement] at execution time, so a mid-flight migration simply
+   routes the next request to the new kernel. *)
+let exec_request t (tn : tenant) ~replica =
+  let spec, arg, key = Workload.pick_request tn.profile tn.work_rng in
+  let ops = spec.Spec.ops arg in
+  match tn.placement with
+  | Shared h ->
+      let cfg = Instance.config h.inst in
+      Instance.burn h.inst cfg.Config.syscall_entry_cost;
+      Instance.exec_program h.inst
+        {
+          Instance.core = (tn.slot + replica) mod t.cfg.host_cores;
+          tenant = tn.id;
+          key;
+          cgroup = None;
+        }
+        ops
+  | Contained (h, cg) ->
+      let cfg = Instance.config h.inst in
+      Instance.burn h.inst
+        (cfg.Config.syscall_entry_cost +. Container.namespace_cost);
+      Instance.exec_program h.inst
+        {
+          Instance.core = (tn.slot + replica) mod t.cfg.host_cores;
+          tenant = tn.id;
+          key;
+          cgroup = Some cg;
+        }
+        (Ops.Cgroup_charge :: ops)
+  | Virtual vm ->
+      Vm.exec_syscall vm
+        ~core:(replica mod t.cfg.max_replicas)
+        ~tenant:tn.id ~key ops
+  | Private inst ->
+      let cfg = Instance.config inst in
+      Instance.burn inst cfg.Config.syscall_entry_cost;
+      Instance.exec_program inst
+        {
+          Instance.core = replica mod t.cfg.max_replicas;
+          tenant = tn.id;
+          key;
+          cgroup = None;
+        }
+        ops
+
+let hit_request_target t =
+  match t.cfg.request_target with
+  | Some n -> t.completed >= n
+  | None -> false
+
+let spawn_replica t (tn : tenant) =
+  let replica = tn.next_replica in
+  tn.next_replica <- tn.next_replica + 1;
+  Engine.spawn t.engine (fun () ->
+      let rec serve () =
+        let arrival = Mailbox.recv tn.mailbox in
+        if not tn.alive then ()
+        else if replica >= tn.target_replicas then
+          (* Scaled down: hand the request back and retire. *)
+          Mailbox.send tn.mailbox arrival
+        else begin
+          exec_request t tn ~replica;
+          let now = Engine.now t.engine in
+          let latency = now -. arrival in
+          t.completed <- t.completed + 1;
+          if now >= t.warmup_end then begin
+            Streamstat.add tn.stats latency;
+            Streamstat.add t.fleet_stats latency;
+            P2.add tn.epoch_p99 latency;
+            tn.epoch_count <- tn.epoch_count + 1
+          end;
+          serve ()
+        end
+      in
+      serve ())
+
+let spawn_client t (tn : tenant) =
+  Engine.spawn t.engine (fun () ->
+      let rec loop () =
+        if tn.alive && not (hit_request_target t) then begin
+          let gap =
+            Workload.next_gap tn.profile ~day_ns:t.cfg.day_ns tn.client_rng
+              ~now:(Engine.now t.engine)
+          in
+          Engine.delay gap;
+          if tn.alive then begin
+            Mailbox.send tn.mailbox (Engine.now t.engine);
+            loop ()
+          end
+        end
+      in
+      loop ())
+
+(* Admission must run inside a simulation process (placement storms). *)
+let admit t =
+  let id = t.next_tenant in
+  t.next_tenant <- t.next_tenant + 1;
+  let rng = Prng.split t.root_rng (Printf.sprintf "tenant-%d" id) in
+  let profile =
+    Workload.make
+      ~rng:(Prng.split rng "profile")
+      ~params:
+        {
+          Workload.default_params with
+          Workload.day_ns = t.cfg.day_ns;
+          horizon_ns = t.t_end;
+          mean_rate_per_s = t.cfg.mean_rate_per_s;
+        }
+  in
+  let tn =
+    {
+      id;
+      slot = id;
+      profile;
+      client_rng = Prng.split rng "client";
+      work_rng = Prng.split rng "work";
+      mailbox =
+        Mailbox.create ~engine:t.engine ~name:(Printf.sprintf "tenant-%d" id);
+      klass = Policy.initial_klass t.cfg.policy;
+      placement = Shared (host_of t id) (* overwritten by [place] *);
+      alive = true;
+      target_replicas = 1;
+      next_replica = 0;
+      bad_epochs = 0;
+      stats = Streamstat.streaming ();
+      epoch_p99 = P2.create 0.99;
+      epoch_count = 0;
+    }
+  in
+  place t tn (Policy.initial_klass t.cfg.policy);
+  t.live <- tn :: t.live;
+  t.arrivals <- t.arrivals + 1;
+  spawn_client t tn;
+  spawn_replica t tn;
+  tn
+
+let depart t (tn : tenant) =
+  if not tn.alive then ()
+  else begin
+    tn.alive <- false;
+    release t tn;
+  (* Wake every replica blocked on the mailbox so the serving fibers
+     exit instead of suspending forever (the timestamp is never read
+     once [alive] is false).  Surplus wakeups — replicas that already
+     retired on scale-down — just sit in the queue and are collected
+     with it. *)
+  for _ = 1 to tn.next_replica do
+    Mailbox.send tn.mailbox (Engine.now t.engine)
+  done;
+  (* Fold the lifetime SLO verdict now and drop the record. *)
+  if Streamstat.count tn.stats >= t.cfg.min_tenant_samples then begin
+    t.departed_measured <- t.departed_measured + 1;
+    if Streamstat.p99 tn.stats <= t.cfg.slo_ns then
+      t.departed_slo_met <- t.departed_slo_met + 1
+  end;
+    t.live <- List.filter (fun other -> other != tn) t.live;
+    t.departures <- t.departures + 1
+  end
+
+let live_tenants t = List.rev t.live
+
+(* The per-epoch SLO control loop: scale out a violating tenant until
+   it hits the replica ceiling, then (adaptive policy) migrate it to a
+   stronger isolation boundary; scale quiet tenants back in. *)
+let control_epoch t =
+  List.iter
+    (fun tn ->
+      if tn.alive then begin
+        if tn.epoch_count >= t.cfg.min_epoch_samples then begin
+          let p99 = P2.value tn.epoch_p99 in
+          if p99 > t.cfg.slo_ns then begin
+            t.epoch_violations <- t.epoch_violations + 1;
+            tn.bad_epochs <- tn.bad_epochs + 1;
+            if tn.target_replicas < t.cfg.max_replicas then begin
+              tn.target_replicas <- tn.target_replicas + 1;
+              spawn_replica t tn;
+              t.scale_ups <- t.scale_ups + 1
+            end
+            else if tn.bad_epochs >= t.cfg.escalate_after then
+              match Policy.escalation t.cfg.policy tn.klass with
+              | Some klass ->
+                  release t tn;
+                  place t tn klass;
+                  tn.bad_epochs <- 0;
+                  t.migrations <- t.migrations + 1
+              | None -> ()
+          end
+          else begin
+            tn.bad_epochs <- 0;
+            if p99 < t.cfg.slo_ns /. 4.0 && tn.target_replicas > 1 then begin
+              tn.target_replicas <- tn.target_replicas - 1;
+              t.scale_downs <- t.scale_downs + 1
+            end
+          end
+        end;
+        tn.epoch_p99 <- P2.create 0.99;
+        tn.epoch_count <- 0
+      end)
+    (List.rev t.live)
+
+let create ?(on_engine = fun (_ : Engine.t) -> ()) (cfg : config) =
+  if cfg.tenants < 1 then invalid_arg "Fleet.create: tenants must be >= 1";
+  if cfg.churn_per_day < 0.0 then
+    invalid_arg "Fleet.create: churn must be >= 0";
+  let engine = Engine.create ~seed:cfg.seed () in
+  on_engine engine;
+  let host_count =
+    if cfg.hosts > 0 then cfg.hosts else max 1 ((cfg.tenants + 127) / 128)
+  in
+  let hosts =
+    Array.init host_count (fun i ->
+        {
+          inst =
+            Kernel.boot ~engine ~config:cfg.kernel_config ~id:i
+              ~cores:cfg.host_cores ~mem_mb:cfg.host_mem_mb ();
+          sharers = 0;
+        })
+  in
+  let root_rng = Prng.split (Engine.rng engine) "ktenant" in
+  let t_end = cfg.days *. cfg.day_ns in
+  {
+    engine;
+    cfg;
+    hosts;
+    root_rng;
+    churn_rng = Prng.split root_rng "churn";
+    t_end;
+    warmup_end = cfg.warmup_fraction *. t_end;
+    mk_config = mk_kernel_config cfg.kernel_config Workload.service_mix;
+    live = [];
+    departed_measured = 0;
+    departed_slo_met = 0;
+    next_tenant = 0;
+    next_guest = 0;
+    fleet_stats = Streamstat.streaming ();
+    completed = 0;
+    arrivals = 0;
+    departures = 0;
+    cgroup_creates = 0;
+    cgroup_destroys = 0;
+    migrations = 0;
+    scale_ups = 0;
+    scale_downs = 0;
+    epoch_violations = 0;
+    peak_cgroups = 0;
+  }
+
+let run ?on_engine (cfg : config) =
+  let t = create ?on_engine cfg in
+  let engine = t.engine in
+  (* Staggered boot storm: admissions spread over half the warmup, so
+     the churny steady state — not a thundering herd at t=0 — is what
+     the measured phase sees. *)
+  let stagger = t.warmup_end /. (2.0 *. float_of_int cfg.tenants) in
+  (* One admission fiber per tenant: placement delays (VM or
+     multikernel boot) overlap instead of serialising behind a single
+     admission loop — 512 KVM tenants boot in a staggered wave, not a
+     13-virtual-second queue. *)
+  for i = 0 to cfg.tenants - 1 do
+    Engine.spawn ~at:(float_of_int i *. stagger) engine (fun () ->
+        ignore (admit t : tenant))
+  done;
+  if cfg.churn_per_day > 0.0 then begin
+    let mean_gap = cfg.day_ns /. (cfg.churn_per_day *. float_of_int cfg.tenants) in
+    let gap_dist = Dist.exponential ~mean:mean_gap in
+    Engine.spawn engine (fun () ->
+        let rec loop () =
+          Engine.delay (Dist.sample gap_dist t.churn_rng);
+          if Engine.now engine < t.t_end && not (hit_request_target t) then begin
+            (* Victim choice stays in this fiber (it owns churn_rng);
+               the lifecycle work itself — teardown storm, replacement
+               boot — runs in its own fiber so slow placements (VM
+               boot) don't throttle the churn rate. *)
+            let victim =
+              match live_tenants t with
+              | [] -> None
+              | live ->
+                  Some (List.nth live (Prng.int t.churn_rng (List.length live)))
+            in
+            Engine.spawn engine (fun () ->
+                Option.iter (depart t) victim;
+                ignore (admit t : tenant));
+            loop ()
+          end
+        in
+        loop ())
+  end;
+  Engine.spawn engine (fun () ->
+      let rec loop () =
+        Engine.delay cfg.epoch_ns;
+        if Engine.now engine < t.t_end then begin
+          control_epoch t;
+          loop ()
+        end
+      in
+      loop ());
+  Engine.run ~until:t.t_end ~stop:(fun () -> hit_request_target t) engine;
+  let measured = ref t.departed_measured
+  and slo_met = ref t.departed_slo_met in
+  List.iter
+    (fun tn ->
+      if Streamstat.count tn.stats >= cfg.min_tenant_samples then begin
+        incr measured;
+        if Streamstat.p99 tn.stats <= cfg.slo_ns then incr slo_met
+      end)
+    t.live;
+  let count_final k =
+    List.fold_left
+      (fun acc tn -> if tn.alive && tn.klass = k then acc + 1 else acc)
+      0 t.live
+  in
+  let n = Streamstat.count t.fleet_stats in
+  {
+    policy = Policy.name cfg.policy;
+    tenants = cfg.tenants;
+    churn_per_day = cfg.churn_per_day;
+    completed = t.completed;
+    mean = (if n = 0 then 0.0 else Streamstat.mean t.fleet_stats);
+    p50 = Streamstat.p50 t.fleet_stats;
+    p95 = Streamstat.p95 t.fleet_stats;
+    p99 = Streamstat.p99 t.fleet_stats;
+    max = (if n = 0 then 0.0 else Streamstat.max_value t.fleet_stats);
+    slo_ns = cfg.slo_ns;
+    measured = !measured;
+    slo_met = !slo_met;
+    attainment =
+      (if !measured = 0 then 0.0
+       else float_of_int !slo_met /. float_of_int !measured);
+    epoch_violations = t.epoch_violations;
+    arrivals = t.arrivals;
+    departures = t.departures;
+    cgroup_creates = t.cgroup_creates;
+    cgroup_destroys = t.cgroup_destroys;
+    migrations = t.migrations;
+    scale_ups = t.scale_ups;
+    scale_downs = t.scale_downs;
+    peak_cgroups = t.peak_cgroups;
+    final_native = count_final Policy.Native;
+    final_docker = count_final Policy.Docker;
+    final_kvm = count_final Policy.Kvm;
+    final_mk = count_final Policy.Multikernel;
+    virtual_ns = Engine.now engine;
+  }

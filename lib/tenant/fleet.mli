@@ -1,0 +1,94 @@
+(** ktenant: a rack of hosts serving a churning multi-tenant fleet.
+
+    Hundreds-to-thousands of tenants share a handful of 64-core host
+    kernels (or sit behind private KVM / kspec-Multikernel guests,
+    depending on policy).  Each tenant is an open-loop diurnal client
+    ({!Workload}) served by an autoscaled pool of replica processes;
+    tenant churn executes the cgroup create/destroy storms of
+    {!Ksurf_kernel.Instance.cgroup_create} on the shared hosts, so the
+    probes (lockdep, ksan, the interference matrix) see lifecycle
+    traffic exactly like syscall traffic.
+
+    Measurement is streaming end-to-end: per-tenant and fleet-wide
+    latency statistics live in {!Ksurf_stats.Streamstat} /
+    {!Ksurf_stats.P2_quantile} accumulators and no sample array is ever
+    materialized — memory stays flat from 10^5 to 10^6 requests.
+
+    Determinism: everything derives from [config.seed] through split
+    PRNG streams, so a run is bit-identical across repetitions and
+    across sweep worker counts. *)
+
+type config = {
+  tenants : int;  (** initial (and steady-state) tenant population *)
+  churn_per_day : float;
+      (** expected replacements per tenant per diurnal day; 0 disables
+          the churn process entirely *)
+  policy : Policy.t;
+  seed : int;
+  hosts : int;  (** shared-kernel hosts; 0 = one per 128 tenant slots *)
+  host_cores : int;
+  host_mem_mb : int;
+  day_ns : float;  (** virtual length of one diurnal period *)
+  days : float;  (** run length in days *)
+  warmup_fraction : float;  (** leading fraction excluded from stats *)
+  mean_rate_per_s : float;  (** fleet-mean per-tenant request rate *)
+  epoch_ns : float;  (** SLO control-loop period *)
+  slo_ns : float;  (** per-tenant p99 latency target *)
+  max_replicas : int;  (** autoscaler ceiling per tenant *)
+  escalate_after : int;
+      (** consecutive violating epochs at max replicas before an
+          adaptive policy migrates the tenant *)
+  min_epoch_samples : int;  (** epochs thinner than this are skipped *)
+  min_tenant_samples : int;
+      (** tenants thinner than this are excluded from SLO attainment *)
+  request_target : int option;
+      (** stop once this many requests completed (bench ladders);
+          [None] runs to [days * day_ns] *)
+  kernel_config : Ksurf_kernel.Config.t;  (** host / KVM-guest kernel *)
+  virt : Ksurf_virt.Virt_config.t;
+}
+
+val default_config : config
+(** 128 tenants, 4 replacements/tenant/day, Docker placement, one
+    2-virtual-second day on one 64-core host, 250 us p99 SLO. *)
+
+type result = {
+  policy : string;
+  tenants : int;
+  churn_per_day : float;
+  completed : int;  (** requests served (including warmup) *)
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;  (** fleet-wide post-warmup latency summary (ns) *)
+  slo_ns : float;
+  measured : int;  (** tenants with enough samples to judge *)
+  slo_met : int;  (** of those, lifetime p99 within SLO *)
+  attainment : float;  (** slo_met / measured; 0 when nothing measured *)
+  epoch_violations : int;
+  arrivals : int;
+  departures : int;
+  cgroup_creates : int;
+  cgroup_destroys : int;
+  migrations : int;
+  scale_ups : int;
+  scale_downs : int;
+  peak_cgroups : int;  (** max live cgroups across all hosts *)
+  final_native : int;
+  final_docker : int;
+  final_kvm : int;
+  final_mk : int;  (** live tenants per placement class at the end *)
+  virtual_ns : float;
+}
+
+val mk_kernel_config :
+  Ksurf_kernel.Config.t -> Ksurf_syscalls.Spec.t array -> Ksurf_kernel.Config.t
+(** The kspec move for Multikernel tenants: switch off every kernel
+    machinery no category of the syscall mix depends on. *)
+
+val run :
+  ?on_engine:(Ksurf_sim.Engine.t -> unit) -> config -> result
+(** Simulate the fleet.  [on_engine] runs on the freshly created engine
+    before anything is booted — the hook sanitizer scenarios use to
+    attach probes. *)

@@ -1,0 +1,52 @@
+(** Per-tenant open-loop workload model (ktenant).
+
+    Each tenant is an independent open-loop client: requests arrive by
+    a non-homogeneous Poisson process whose rate follows a diurnal
+    sinusoid (every tenant gets its own mean rate, swing and phase)
+    multiplied through any active flash-crowd window.  All randomness
+    derives from the PRNG handed to {!make}, so a tenant's entire
+    arrival and request stream is a pure function of the fleet seed and
+    the tenant's identity. *)
+
+type flash = { from_ns : float; until_ns : float; boost : float }
+
+type profile = {
+  base_rate : float;  (** mean requests per ns at the diurnal midpoint *)
+  amplitude : float;  (** diurnal swing, 0..1 *)
+  phase : float;  (** phase offset as a fraction of a day *)
+  flashes : flash list;
+  mix : Ksurf_syscalls.Spec.t array;  (** syscalls the service issues *)
+  key_space : int;  (** object-identity space for lock striping *)
+}
+
+type params = {
+  day_ns : float;  (** virtual length of one diurnal period *)
+  horizon_ns : float;  (** run length; flash windows land inside it *)
+  mean_rate_per_s : float;  (** fleet-mean per-tenant request rate *)
+  rate_spread : float;  (** +- relative tenant-to-tenant rate spread *)
+  max_flashes : int;
+  max_flash_boost : float;
+}
+
+val default_params : params
+(** One 2-virtual-second day, 25 req/s per tenant +-60%, up to two
+    flash crowds of up to 6x. *)
+
+val service_mix : Ksurf_syscalls.Spec.t array
+(** The RPC-service syscall mix every tenant draws from: file reads and
+    writes, metadata lookups, open/close pairs, socket send/receive. *)
+
+val make : rng:Ksurf_util.Prng.t -> params:params -> profile
+(** Draw a tenant's profile.  Consumes only [rng]. *)
+
+val rate_at : profile -> day_ns:float -> float -> float
+(** Instantaneous arrival rate (req/ns) at a virtual time. *)
+
+val next_gap : profile -> day_ns:float -> Ksurf_util.Prng.t -> now:float -> float
+(** Sample the next inter-arrival gap at the rate in effect [now]. *)
+
+val pick_request :
+  profile -> Ksurf_util.Prng.t ->
+  Ksurf_syscalls.Spec.t * Ksurf_syscalls.Arg.t * int
+(** Draw one request: a syscall from the mix, a generated argument, and
+    an object key for lock striping. *)

@@ -8,15 +8,18 @@ type params = { iterations : int; warmup_iterations : int }
 
 let default_params = { iterations = 20; warmup_iterations = 2 }
 
+module Streamstat = Ksurf_stats.Streamstat
+
 type site = {
   program : int;
   index : int;
   syscall : Ksurf_syscalls.Spec.t;
-  samples : Samples.t;
+  stats : Streamstat.t;
 }
 
 type result = {
   sites : site array;
+  overall : Streamstat.t;
   ranks : int;
   iterations : int;
   wall_time_ns : float;
@@ -29,7 +32,7 @@ type result = {
 }
 
 let total_invocations r =
-  Array.fold_left (fun acc s -> acc + Samples.count s.samples) 0 r.sites
+  Array.fold_left (fun acc s -> acc + Streamstat.count s.stats) 0 r.sites
 
 let backoff_base_ns = 1_000.0
 let backoff_cap_ns = 256_000.0
@@ -61,13 +64,14 @@ let run ~env ~corpus ?(params = default_params) ?straggler_timeout_ns () =
                 program = p.Program.id;
                 index = ci;
                 syscall = c.Program.spec;
-                samples = Samples.create ();
+                stats = Streamstat.create ();
               })
         p.Program.calls)
     programs;
   let sites =
     Array.map (function Some s -> s | None -> assert false) sites
   in
+  let overall = Streamstat.streaming () in
   let barrier = Barrier.create ~engine ~name:"varbench" ~parties:ranks in
   let barrier_cost = Env.barrier_cost_per_party env in
   let finished = ref 0 in
@@ -165,10 +169,11 @@ let run ~env ~corpus ?(params = default_params) ?straggler_timeout_ns () =
                     progress.(rank) <- Engine.now engine;
                     (* Latency includes retries and backoff — the cost
                        the caller actually paid to get the call through. *)
-                    if ok && measuring then
-                      Samples.add
-                        sites.(offsets.(pi) + ci).samples
-                        (Engine.now engine -. t0))
+                    if ok && measuring then begin
+                      let latency = Engine.now engine -. t0 in
+                      Streamstat.add sites.(offsets.(pi) + ci).stats latency;
+                      Streamstat.add overall latency
+                    end)
                   p.Program.calls)
               programs
           done;
@@ -202,6 +207,7 @@ let run ~env ~corpus ?(params = default_params) ?straggler_timeout_ns () =
   Engine.run ~stop engine;
   {
     sites;
+    overall;
     ranks;
     iterations = params.iterations;
     wall_time_ns = Engine.now engine -. !measure_start;

@@ -20,11 +20,18 @@ type site = {
   program : int;  (** program id within the corpus *)
   index : int;  (** call position within the program *)
   syscall : Ksurf_syscalls.Spec.t;
-  samples : Samples.t;  (** one latency per rank x iteration *)
+  stats : Ksurf_stats.Streamstat.t;
+      (** one latency per rank x iteration — exact at seed scale,
+          constant-size streaming past
+          {!Ksurf_stats.Streamstat.default_exact_cap} *)
 }
 
 type result = {
   sites : site array;
+  overall : Ksurf_stats.Streamstat.t;
+      (** all measured latencies pooled in arrival order, pure
+          streaming (never materialized) — the fallback source for
+          corpus-wide quantiles once any site spills its exact buffer *)
   ranks : int;
   iterations : int;
   wall_time_ns : float;  (** virtual time the measured phase spanned *)

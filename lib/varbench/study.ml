@@ -1,5 +1,6 @@
 module Category = Ksurf_kernel.Category
 module Quantile = Ksurf_stats.Quantile
+module Streamstat = Ksurf_stats.Streamstat
 module Buckets = Ksurf_stats.Buckets
 module Violin = Ksurf_stats.Violin
 module Spec = Ksurf_syscalls.Spec
@@ -18,20 +19,48 @@ type site_stats = {
 let site_stats (result : Harness.result) =
   Array.map
     (fun (s : Harness.site) ->
-      let samples = Samples.to_array s.Harness.samples in
-      let sorted = Quantile.sorted_copy samples in
-      let n = Array.length sorted in
+      let count, median, p99, max =
+        match Streamstat.exact s.Harness.stats with
+        | Some samples ->
+            (* Exact regime (seed scale): identical to the historical
+               array-based computation, byte for byte. *)
+            let sorted = Quantile.sorted_copy samples in
+            let n = Array.length sorted in
+            ( n,
+              Quantile.of_sorted sorted 0.5,
+              Quantile.of_sorted sorted 0.99,
+              sorted.(n - 1) )
+        | None ->
+            ( Streamstat.count s.Harness.stats,
+              Streamstat.p50 s.Harness.stats,
+              Streamstat.p99 s.Harness.stats,
+              Streamstat.max_value s.Harness.stats )
+      in
       {
         program = s.Harness.program;
         index = s.Harness.index;
         name = s.Harness.syscall.Spec.name;
         categories = s.Harness.syscall.Spec.categories;
-        count = n;
-        median = Quantile.of_sorted sorted 0.5;
-        p99 = Quantile.of_sorted sorted 0.99;
-        max = sorted.(n - 1);
+        count;
+        median;
+        p99;
+        max;
       })
     result.Harness.sites
+
+(* Every measured latency across the whole corpus, concatenated in site
+   order — but only while every site is still in its exact regime.
+   Consumers (kdose, kspec) use this to keep their historical
+   byte-exact pooled statistics at seed scale and fall back to
+   [result.overall] streaming estimates past the cap. *)
+let pooled_samples (result : Harness.result) =
+  let bufs =
+    Array.map (fun (s : Harness.site) -> Streamstat.exact s.Harness.stats)
+      result.Harness.sites
+  in
+  if Array.for_all Option.is_some bufs then
+    Some (Array.concat (Array.to_list (Array.map Option.get bufs)))
+  else None
 
 type statistic = Median | P99 | Max
 

@@ -18,6 +18,13 @@ type site_stats = {
 
 val site_stats : Harness.result -> site_stats array
 
+val pooled_samples : Harness.result -> float array option
+(** Every measured latency, concatenated in site order — available only
+    while every site is still in its exact regime (seed scale), where
+    it reproduces the historical array pipeline byte-for-byte.  [None]
+    once any site has spilled to streaming; use
+    [result.overall] then. *)
+
 type statistic = Median | P99 | Max
 
 val statistic_name : statistic -> string

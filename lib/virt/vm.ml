@@ -27,6 +27,7 @@ let id t = t.id
 let shape t = t.shape
 let guest t = t.guest
 let virt t = t.virt
+let shutdown t = Instance.halt t.guest
 
 let syscall_overhead t =
   (* Expected involuntary exits per call; fractional expectation realised

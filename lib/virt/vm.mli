@@ -30,6 +30,11 @@ val shape : t -> shape
 val guest : t -> Ksurf_kernel.Instance.t
 val virt : t -> Virt_config.t
 
+val shutdown : t -> unit
+(** Halt the guest kernel ({!Ksurf_kernel.Instance.halt}): its
+    background daemons exit at their next wakeup, so a decommissioned
+    VM stops generating events. *)
+
 val syscall_overhead : t -> float
 (** Sample this call's bounded virtualisation overhead (involuntary
     exits).  Deterministic stream per VM. *)

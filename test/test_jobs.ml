@@ -1,0 +1,44 @@
+(* Worker-count precedence (satellite of ktenant): an explicit --jobs
+   always beats KSURF_JOBS, which beats the machine default.  Both
+   ksurf_cli (via with_pool) and bench/main.exe route their parsed
+   --jobs value through Pool.resolve_jobs, so this pins the order for
+   both binaries. *)
+
+let with_env value f =
+  let old = Sys.getenv_opt "KSURF_JOBS" in
+  Unix.putenv "KSURF_JOBS" value;
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv cannot unset; an empty value parses as invalid and
+         falls back, which is what an absent variable does too. *)
+      Unix.putenv "KSURF_JOBS" (Option.value old ~default:""))
+    f
+
+let test_cli_beats_env () =
+  with_env "7" (fun () ->
+      Alcotest.(check int) "explicit flag wins" 3
+        (Ksurf.Pool.resolve_jobs ~cli:3 ()))
+
+let test_env_beats_default () =
+  with_env "5" (fun () ->
+      Alcotest.(check int) "env honoured without a flag" 5
+        (Ksurf.Pool.resolve_jobs ()))
+
+let test_invalid_env_falls_back () =
+  with_env "not-a-number" (fun () ->
+      let expected = max 1 (Domain.recommended_domain_count () - 1) in
+      Alcotest.(check int) "garbage env ignored" expected
+        (Ksurf.Pool.resolve_jobs ()))
+
+let test_cli_clamped () =
+  with_env "5" (fun () ->
+      Alcotest.(check int) "nonpositive flag clamps to 1" 1
+        (Ksurf.Pool.resolve_jobs ~cli:0 ()))
+
+let suite =
+  [
+    Alcotest.test_case "cli beats env" `Quick test_cli_beats_env;
+    Alcotest.test_case "env beats default" `Quick test_env_beats_default;
+    Alcotest.test_case "invalid env falls back" `Quick test_invalid_env_falls_back;
+    Alcotest.test_case "cli clamped" `Quick test_cli_clamped;
+  ]

@@ -1,0 +1,136 @@
+open Ksurf
+
+let quick cfg =
+  {
+    cfg with
+    Fleet.tenants = 16;
+    day_ns = 4e8;
+    days = 1.0;
+    mean_rate_per_s = 40.0;
+    epoch_ns = 5e7;
+    host_cores = 16;
+    host_mem_mb = 32_768;
+  }
+
+let run_quick ?(churn = 8.0) ?(policy = Tenant_policy.Static Tenant_policy.Docker)
+    ?(seed = 42) () =
+  Fleet.run (quick { Fleet.default_config with churn_per_day = churn; policy; seed })
+
+let test_fleet_serves () =
+  let r = run_quick () in
+  Alcotest.(check bool) "requests served" true (r.Fleet.completed > 0);
+  Alcotest.(check bool) "latencies positive" true (r.Fleet.p50 > 0.0);
+  Alcotest.(check bool) "p50 <= p99" true (r.Fleet.p50 <= r.Fleet.p99 +. 1e-9)
+
+let test_churn_storms_visible () =
+  let r = run_quick ~churn:16.0 () in
+  Alcotest.(check bool) "departures happened" true (r.Fleet.departures > 0);
+  Alcotest.(check bool) "creates = initial + churn arrivals" true
+    (r.Fleet.cgroup_creates = r.Fleet.arrivals);
+  Alcotest.(check bool) "every departure destroyed its cgroup" true
+    (r.Fleet.cgroup_destroys = r.Fleet.departures);
+  Alcotest.(check bool) "peak cgroups >= initial population" true
+    (r.Fleet.peak_cgroups >= 16)
+
+let test_zero_churn_is_quiet () =
+  let r = run_quick ~churn:0.0 () in
+  Alcotest.(check int) "no departures" 0 r.Fleet.departures;
+  Alcotest.(check int) "arrivals = population" 16 r.Fleet.arrivals
+
+let test_native_has_no_cgroups () =
+  let r = run_quick ~policy:(Tenant_policy.Static Tenant_policy.Native) () in
+  Alcotest.(check int) "no creates" 0 r.Fleet.cgroup_creates;
+  Alcotest.(check int) "no destroys" 0 r.Fleet.cgroup_destroys;
+  Alcotest.(check int) "peak cgroups" 0 r.Fleet.peak_cgroups
+
+let test_slo_accounting_sane () =
+  let r = run_quick () in
+  Alcotest.(check bool) "measured <= arrivals" true
+    (r.Fleet.measured <= r.Fleet.arrivals);
+  Alcotest.(check bool) "slo_met <= measured" true
+    (r.Fleet.slo_met <= r.Fleet.measured);
+  Alcotest.(check bool) "attainment in [0,1]" true
+    (r.Fleet.attainment >= 0.0 && r.Fleet.attainment <= 1.0)
+
+let test_deterministic () =
+  let a = run_quick () and b = run_quick () in
+  Alcotest.(check bool) "bit-identical results" true (a = b)
+
+let test_seed_sensitivity () =
+  let a = run_quick () and b = run_quick ~seed:43 () in
+  Alcotest.(check bool) "different seeds diverge" true (a <> b)
+
+let test_request_target_stops_early () =
+  let cfg =
+    quick
+      {
+        Fleet.default_config with
+        churn_per_day = 4.0;
+        request_target = Some 100;
+        days = 50.0;
+      }
+  in
+  let r = Fleet.run cfg in
+  Alcotest.(check bool) "stopped near the target" true
+    (r.Fleet.completed >= 100 && r.Fleet.completed < 1000)
+
+let test_adaptive_can_migrate () =
+  (* A tight SLO with one replica available forces escalation. *)
+  let cfg =
+    quick
+      {
+        Fleet.default_config with
+        churn_per_day = 0.0;
+        policy = Tenant_policy.Adaptive;
+        slo_ns = 1.0;
+        max_replicas = 1;
+        escalate_after = 1;
+      }
+  in
+  let r = Fleet.run cfg in
+  Alcotest.(check bool) "migrations happened" true (r.Fleet.migrations > 0);
+  Alcotest.(check bool) "tenants ended as multikernel" true (r.Fleet.final_mk > 0)
+
+let test_mk_config_prunes () =
+  let pruned = Fleet.mk_kernel_config Kernel_config.default Workload.service_mix in
+  (* File_io/Fs_mgmt/Ipc keep the journal (and io charge path) but need
+     no balancer, tick, reclaim or shootdown machinery. *)
+  Alcotest.(check bool) "journal kept" true
+    pruned.Kernel_config.enable_journal_daemon;
+  Alcotest.(check bool) "balancer pruned" false
+    pruned.Kernel_config.enable_load_balancer;
+  Alcotest.(check bool) "kswapd pruned" false pruned.Kernel_config.enable_kswapd
+
+let test_policy_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match Tenant_policy.of_string (Tenant_policy.name p) with
+      | Some p' -> Alcotest.(check bool) "roundtrip" true (p = p')
+      | None -> Alcotest.fail "name did not parse")
+    Tenant_policy.all
+
+let test_workload_rate_positive () =
+  let rng = Prng.create 7 in
+  let profile = Workload.make ~rng ~params:Workload.default_params in
+  let day = Workload.default_params.Workload.day_ns in
+  for i = 0 to 100 do
+    let t = float_of_int i *. day /. 100.0 in
+    if Workload.rate_at profile ~day_ns:day t <= 0.0 then
+      Alcotest.fail "non-positive arrival rate"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "fleet serves" `Quick test_fleet_serves;
+    Alcotest.test_case "churn storms visible" `Quick test_churn_storms_visible;
+    Alcotest.test_case "zero churn quiet" `Quick test_zero_churn_is_quiet;
+    Alcotest.test_case "native has no cgroups" `Quick test_native_has_no_cgroups;
+    Alcotest.test_case "slo accounting sane" `Quick test_slo_accounting_sane;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "request target" `Quick test_request_target_stops_early;
+    Alcotest.test_case "adaptive migrates" `Quick test_adaptive_can_migrate;
+    Alcotest.test_case "mk config prunes" `Quick test_mk_config_prunes;
+    Alcotest.test_case "policy names roundtrip" `Quick test_policy_names_roundtrip;
+    Alcotest.test_case "workload rate positive" `Quick test_workload_rate_positive;
+  ]
