@@ -1021,6 +1021,11 @@ let tenancy seed scale smoke tenants churns policies export_dir journal_path
              bad "cgroup destroys %d > creates %d" r.F.cgroup_destroys
                r.F.cgroup_creates
            else None);
+          (if r.F.replica_imbalance <> 0 then
+             bad "replica imbalance %d: live replicas diverged from \
+                  autoscaler targets"
+               r.F.replica_imbalance
+           else None);
           (if r.F.departures > r.F.arrivals + cfg.F.tenants then
              bad "departures %d exceed population" r.F.departures
            else None);

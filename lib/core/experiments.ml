@@ -1253,7 +1253,10 @@ module Tenancy = struct
       t.cells
 
   (* The headline: per policy, the largest (tenants, churn) cell that
-     still attains the SLO for at least [floor] of its tenants. *)
+     still attains the SLO for at least [floor] of its tenants.  Cells
+     with no measured tenant carry no verdict — their attainment of 0 is
+     no-data, not failure — so they can neither anchor nor be part of
+     the frontier. *)
   let frontier ?(floor = 0.95) t =
     let policies =
       List.sort_uniq compare
@@ -1264,7 +1267,9 @@ module Tenancy = struct
         let mine =
           List.filter
             (fun (c : cell) ->
-              c.Fleet.policy = p && c.Fleet.attainment >= floor)
+              c.Fleet.policy = p
+              && c.Fleet.measured > 0
+              && c.Fleet.attainment >= floor)
             t.cells
         in
         let best =
@@ -1299,7 +1304,8 @@ module Tenancy = struct
             string_of_int c.Fleet.completed;
             Printf.sprintf "%.1f" (c.Fleet.p50 /. 1e3);
             Printf.sprintf "%.1f" (c.Fleet.p99 /. 1e3);
-            Printf.sprintf "%.3f" c.Fleet.attainment;
+            (if c.Fleet.measured = 0 then "n/a"
+             else Printf.sprintf "%.3f" c.Fleet.attainment);
             string_of_int c.Fleet.epoch_violations;
             string_of_int (c.Fleet.cgroup_creates + c.Fleet.cgroup_destroys);
             string_of_int c.Fleet.migrations;

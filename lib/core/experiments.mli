@@ -393,7 +393,9 @@ module Tenancy : sig
     ?floor:float -> t -> (string * cell option) list
   (** Per policy, the largest cell (by tenants, then churn) attaining
       the SLO for at least [floor] (default 0.95) of measured tenants;
-      [None] if no cell qualifies. *)
+      [None] if no cell qualifies.  Cells with [measured = 0] carry no
+      verdict and are excluded — their reported attainment of 0 is
+      no-data, not a failing policy. *)
 
   val pp : Format.formatter -> t -> unit
 end

@@ -241,7 +241,8 @@ let tenancy ~dir (t : E.Tenancy.t) =
         "p50_ns"; "p95_ns"; "p99_ns"; "max_ns"; "slo_ns"; "measured";
         "slo_met"; "attainment"; "epoch_violations"; "arrivals";
         "departures"; "cgroup_creates"; "cgroup_destroys"; "migrations";
-        "scale_ups"; "scale_downs"; "peak_cgroups"; "final_native";
+        "scale_ups"; "scale_downs"; "replica_imbalance"; "peak_cgroups";
+        "final_native";
         "final_docker"; "final_kvm"; "final_mk" ]
     ~rows:
       (List.map
@@ -269,6 +270,7 @@ let tenancy ~dir (t : E.Tenancy.t) =
              string_of_int c.F.migrations;
              string_of_int c.F.scale_ups;
              string_of_int c.F.scale_downs;
+             string_of_int c.F.replica_imbalance;
              string_of_int c.F.peak_cgroups;
              string_of_int c.F.final_native;
              string_of_int c.F.final_docker;

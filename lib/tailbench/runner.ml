@@ -91,7 +91,11 @@ let run_single_node ~app ~kind ~contended ?(config = default_config)
      to constant-memory streaming and the warmup is skipped online
      instead: the first [requests x warmup_fraction] recorded latencies
      are discarded as they arrive. *)
-  let streaming_mode = config.requests > Streamstat.default_exact_cap in
+  (* [>=], not [>]: at exactly [exact_cap] requests a timeout-free run
+     fills the buffer and the cap'th add would spill it, losing the
+     exact path while the online warmup skip is disarmed.  Whenever a
+     spill is possible, stream from the start. *)
+  let streaming_mode = config.requests >= Streamstat.default_exact_cap in
   let latencies =
     Streamstat.create
       ~exact_cap:(if streaming_mode then 0 else Streamstat.default_exact_cap)

@@ -82,6 +82,7 @@ type result = {
   migrations : int;
   scale_ups : int;
   scale_downs : int;
+  replica_imbalance : int;
   peak_cgroups : int;
   final_native : int;
   final_docker : int;
@@ -109,7 +110,9 @@ type tenant = {
   mutable placement : placement;
   mutable alive : bool;
   mutable target_replicas : int;
-  mutable next_replica : int;
+  mutable next_replica : int;  (* replica-id generator (core striping) *)
+  mutable pending_retire : int;  (* scale-downs not yet honoured *)
+  mutable serving : int;  (* replica fibers not yet retired *)
   mutable bad_epochs : int;
   stats : Streamstat.t;  (* streaming: lifetime post-warmup latencies *)
   mutable epoch_p99 : P2.t;
@@ -299,13 +302,23 @@ let hit_request_target t =
 let spawn_replica t (tn : tenant) =
   let replica = tn.next_replica in
   tn.next_replica <- tn.next_replica + 1;
+  tn.serving <- tn.serving + 1;
   Engine.spawn t.engine (fun () ->
       let rec serve () =
         let arrival = Mailbox.recv tn.mailbox in
         if not tn.alive then ()
-        else if replica >= tn.target_replicas then
-          (* Scaled down: hand the request back and retire. *)
+        else if tn.pending_retire > 0 then begin
+          (* Scaled down: retirement is by count, not by replica id —
+             whichever replica sees the next request consumes one retire
+             token, hands the request back for a survivor, and exits.
+             Replicas spawned by a later scale-up therefore always
+             serve: [serving - pending_retire] tracks [target_replicas]
+             exactly (the [replica_imbalance] result field asserts
+             this). *)
+          tn.pending_retire <- tn.pending_retire - 1;
+          tn.serving <- tn.serving - 1;
           Mailbox.send tn.mailbox arrival
+        end
         else begin
           exec_request t tn ~replica;
           let now = Engine.now t.engine in
@@ -369,6 +382,8 @@ let admit t =
       alive = true;
       target_replicas = 1;
       next_replica = 0;
+      pending_retire = 0;
+      serving = 0;
       bad_epochs = 0;
       stats = Streamstat.streaming ();
       epoch_p99 = P2.create 0.99;
@@ -382,8 +397,11 @@ let admit t =
   spawn_replica t tn;
   tn
 
+(* Returns whether the tenant was actually torn down: a lifecycle fiber
+   may race another that picked the same victim, and the loser's depart
+   is a no-op. *)
 let depart t (tn : tenant) =
-  if not tn.alive then ()
+  if not tn.alive then false
   else begin
     tn.alive <- false;
     release t tn;
@@ -402,7 +420,8 @@ let depart t (tn : tenant) =
       t.departed_slo_met <- t.departed_slo_met + 1
   end;
     t.live <- List.filter (fun other -> other != tn) t.live;
-    t.departures <- t.departures + 1
+    t.departures <- t.departures + 1;
+    true
   end
 
 let live_tenants t = List.rev t.live
@@ -421,7 +440,11 @@ let control_epoch t =
             tn.bad_epochs <- tn.bad_epochs + 1;
             if tn.target_replicas < t.cfg.max_replicas then begin
               tn.target_replicas <- tn.target_replicas + 1;
-              spawn_replica t tn;
+              (* An unconsumed retire token cancels against the new
+                 capacity; only spawn when every live fiber is staying. *)
+              if tn.pending_retire > 0 then
+                tn.pending_retire <- tn.pending_retire - 1
+              else spawn_replica t tn;
               t.scale_ups <- t.scale_ups + 1
             end
             else if tn.bad_epochs >= t.cfg.escalate_after then
@@ -437,6 +460,7 @@ let control_epoch t =
             tn.bad_epochs <- 0;
             if p99 < t.cfg.slo_ns /. 4.0 && tn.target_replicas > 1 then begin
               tn.target_replicas <- tn.target_replicas - 1;
+              tn.pending_retire <- tn.pending_retire + 1;
               t.scale_downs <- t.scale_downs + 1
             end
           end
@@ -525,9 +549,19 @@ let run ?on_engine (cfg : config) =
               | live ->
                   Some (List.nth live (Prng.int t.churn_rng (List.length live)))
             in
-            Engine.spawn engine (fun () ->
-                Option.iter (depart t) victim;
-                ignore (admit t : tenant));
+            (* A lifecycle event replaces a tenant, so it admits only
+               when it actually tore one down.  Both guarded cases would
+               otherwise drift the live population above the steady
+               state for good: an event firing before the first
+               admission finishes its boot delay finds [t.live] empty,
+               and an earlier fiber may still be mid-teardown on the
+               same victim (depart yields during the storm before
+               pruning [t.live]), making the loser's depart a no-op. *)
+            Option.iter
+              (fun tn ->
+                Engine.spawn engine (fun () ->
+                    if depart t tn then ignore (admit t : tenant)))
+              victim;
             loop ()
           end
         in
@@ -582,6 +616,16 @@ let run ?on_engine (cfg : config) =
     migrations = t.migrations;
     scale_ups = t.scale_ups;
     scale_downs = t.scale_downs;
+    replica_imbalance =
+      (* Autoscaler soundness: for every live tenant the replica fibers
+         still serving, net of unconsumed retire tokens, must equal the
+         target — a scale-up after a scale-down really added capacity. *)
+      List.fold_left
+        (fun acc tn ->
+          if tn.alive then
+            acc + abs ((tn.serving - tn.pending_retire) - tn.target_replicas)
+          else acc)
+        0 t.live;
     peak_cgroups = t.peak_cgroups;
     final_native = count_final Policy.Native;
     final_docker = count_final Policy.Docker;

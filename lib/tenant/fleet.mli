@@ -65,7 +65,11 @@ type result = {
   slo_ns : float;
   measured : int;  (** tenants with enough samples to judge *)
   slo_met : int;  (** of those, lifetime p99 within SLO *)
-  attainment : float;  (** slo_met / measured; 0 when nothing measured *)
+  attainment : float;
+      (** slo_met / measured.  Reported as 0 when [measured = 0], but
+          that case is no-data, not failure — frontier consumers must
+          gate on [measured > 0] (as {!Ksurf.Experiments.Tenancy} does)
+          rather than read the 0 as a failing policy. *)
   epoch_violations : int;
   arrivals : int;
   departures : int;
@@ -74,6 +78,11 @@ type result = {
   migrations : int;
   scale_ups : int;
   scale_downs : int;
+  replica_imbalance : int;
+      (** autoscaler soundness check, always 0: end-of-run sum over live
+          tenants of |serving replicas - unconsumed retire tokens -
+          target_replicas|.  Nonzero would mean a scale-up failed to add
+          capacity (the retire-by-id bug) or a retirement leaked. *)
   peak_cgroups : int;  (** max live cgroups across all hosts *)
   final_native : int;
   final_docker : int;

@@ -115,17 +115,91 @@ let test_frontier_sane () =
   Alcotest.(check int) "one frontier row per policy" (List.length policies)
     (List.length frontier);
   List.iter
-    (fun (_, best) ->
+    (fun (p, best) ->
+      let has_data =
+        List.exists
+          (fun (c : E.Tenancy.cell) ->
+            c.Ksurf.Fleet.policy = p && c.Ksurf.Fleet.measured > 0)
+          t.E.Tenancy.cells
+      in
       match best with
       | Some (c : E.Tenancy.cell) ->
+          Alcotest.(check bool) "frontier cell carries a verdict" true
+            (c.Ksurf.Fleet.measured > 0);
           Alcotest.(check bool) "attainment within [0,1]" true
             (c.Ksurf.Fleet.attainment >= 0.0 && c.Ksurf.Fleet.attainment <= 1.0)
-      | None -> Alcotest.fail "floor 0 must admit some cell")
+      | None ->
+          (* Even at floor 0 a policy whose cells are all no-data must
+             yield no frontier cell; one with data must yield one. *)
+          Alcotest.(check bool) "only no-data policies yield no cell" false
+            has_data)
     frontier
+
+(* A sparse cell (no tenant reached min_tenant_samples) reports
+   attainment 0 but carries no verdict: the frontier must prefer a
+   smaller measured cell over a larger measured=0 one, never reading
+   the 0.0 as total SLO failure. *)
+let test_frontier_excludes_no_data () =
+  let cell ~tenants ~measured ~slo_met : E.Tenancy.cell =
+    {
+      Ksurf.Fleet.policy = "docker";
+      tenants;
+      churn_per_day = 0.0;
+      completed = 100;
+      mean = 1.0;
+      p50 = 1.0;
+      p95 = 1.0;
+      p99 = 1.0;
+      max = 1.0;
+      slo_ns = 2.5e5;
+      measured;
+      slo_met;
+      attainment =
+        (if measured = 0 then 0.0
+         else float_of_int slo_met /. float_of_int measured);
+      epoch_violations = 0;
+      arrivals = tenants;
+      departures = 0;
+      cgroup_creates = tenants;
+      cgroup_destroys = 0;
+      migrations = 0;
+      scale_ups = 0;
+      scale_downs = 0;
+      replica_imbalance = 0;
+      peak_cgroups = tenants;
+      final_native = 0;
+      final_docker = tenants;
+      final_kvm = 0;
+      final_mk = 0;
+      virtual_ns = 1.0;
+    }
+  in
+  let t =
+    {
+      E.Tenancy.slo_ns = 2.5e5;
+      cells =
+        [
+          cell ~tenants:8 ~measured:8 ~slo_met:8;
+          cell ~tenants:512 ~measured:0 ~slo_met:0;
+        ];
+    }
+  in
+  (match E.Tenancy.frontier ~floor:0.0 t with
+  | [ (_, Some c) ] ->
+      Alcotest.(check int) "measured cell wins over larger no-data cell" 8
+        c.Ksurf.Fleet.tenants
+  | _ -> Alcotest.fail "expected one frontier row with a cell");
+  match E.Tenancy.frontier ~floor:0.95 (
+    { t with E.Tenancy.cells = [ cell ~tenants:512 ~measured:0 ~slo_met:0 ] })
+  with
+  | [ (_, None) ] -> ()
+  | _ -> Alcotest.fail "no-data-only policy must have an empty frontier"
 
 let suite =
   [
     Alcotest.test_case "jobs invariant csv" `Quick test_jobs_invariant;
     Alcotest.test_case "journal resume" `Quick test_journal_resume;
     Alcotest.test_case "frontier sane" `Quick test_frontier_sane;
+    Alcotest.test_case "frontier excludes no-data" `Quick
+      test_frontier_excludes_no_data;
   ]

@@ -30,7 +30,12 @@ let test_churn_storms_visible () =
   Alcotest.(check bool) "every departure destroyed its cgroup" true
     (r.Fleet.cgroup_destroys = r.Fleet.departures);
   Alcotest.(check bool) "peak cgroups >= initial population" true
-    (r.Fleet.peak_cgroups >= 16)
+    (r.Fleet.peak_cgroups >= 16);
+  (* Lifecycle events are depart/admit pairs (and a losing fiber whose
+     victim was already torn down skips its paired admit), so the live
+     population never drifts away from the steady state. *)
+  Alcotest.(check int) "population steady under churn" 16
+    (r.Fleet.arrivals - r.Fleet.departures)
 
 let test_zero_churn_is_quiet () =
   let r = run_quick ~churn:0.0 () in
@@ -50,7 +55,29 @@ let test_slo_accounting_sane () =
   Alcotest.(check bool) "slo_met <= measured" true
     (r.Fleet.slo_met <= r.Fleet.measured);
   Alcotest.(check bool) "attainment in [0,1]" true
-    (r.Fleet.attainment >= 0.0 && r.Fleet.attainment <= 1.0)
+    (r.Fleet.attainment >= 0.0 && r.Fleet.attainment <= 1.0);
+  Alcotest.(check int) "replicas match autoscaler targets" 0
+    r.Fleet.replica_imbalance
+
+(* Regression for the retire-by-id bug: after a scale-down, replicas
+   spawned by a later scale-up used to retire on their first request
+   (replica id >= target), so scale-out after scale-in never added
+   capacity.  Diurnal swings at this rate/SLO drive tenants down at the
+   trough and back up at the next peak; retirement by count must leave
+   every live tenant with exactly target_replicas fibers serving. *)
+let test_scale_down_then_up_serves () =
+  let cfg =
+    {
+      (quick { Fleet.default_config with churn_per_day = 0.0; slo_ns = 5e4 }) with
+      Fleet.days = 3.0;
+      mean_rate_per_s = 160.0;
+    }
+  in
+  let r = Fleet.run cfg in
+  Alcotest.(check bool) "autoscaler scaled down" true (r.Fleet.scale_downs > 0);
+  Alcotest.(check bool) "autoscaler scaled up" true (r.Fleet.scale_ups > 0);
+  Alcotest.(check int) "re-added replicas actually serve" 0
+    r.Fleet.replica_imbalance
 
 let test_deterministic () =
   let a = run_quick () and b = run_quick () in
@@ -126,6 +153,8 @@ let suite =
     Alcotest.test_case "zero churn quiet" `Quick test_zero_churn_is_quiet;
     Alcotest.test_case "native has no cgroups" `Quick test_native_has_no_cgroups;
     Alcotest.test_case "slo accounting sane" `Quick test_slo_accounting_sane;
+    Alcotest.test_case "scale down then up serves" `Quick
+      test_scale_down_then_up_serves;
     Alcotest.test_case "deterministic" `Quick test_deterministic;
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "request target" `Quick test_request_target_stops_early;
