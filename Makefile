@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test analyze-smoke inject-smoke specialize-smoke tenancy-smoke soak bench-json tenancy-bench staticcheck lint check clean
+.PHONY: all build test analyze-smoke inject-smoke specialize-smoke tenancy-smoke drift-smoke soak bench-json tenancy-bench engine-bench staticcheck lint check clean
 
 all: build
 
@@ -36,6 +36,16 @@ specialize-smoke:
 tenancy-smoke:
 	dune exec bin/ksurf_cli.exe -- tenancy --seed 42 --smoke
 
+# Drift smoke run (kadapt): a small adaptive driftbench cell executed
+# twice under lockdep + determinism + invariants, the controller
+# accounting cross-checked against the probe stream (every policy
+# hot-swap visible, swap count = ranks + promotions + demotions), and
+# the same cell run under the static policy to assert adaptive strictly
+# beats it on post-drift false positives; exits nonzero on any
+# divergence, finding or inconsistency.
+drift-smoke:
+	dune exec bin/ksurf_cli.exe -- drift --seed 42 --smoke
+
 # Chaos soak: supervised BSP under the "crashy" plan plus random
 # crashes with each recovery policy (all supersteps must complete),
 # then a kill-and-resume round trip from a mid-run checkpoint that
@@ -57,6 +67,13 @@ bench-json:
 tenancy-bench:
 	dune exec bench/main.exe -- tenancy full
 
+# Simulator-core throughput: Bechamel microbenchmarks plus one mixed
+# timer/lock workload timed end to end, events/sec and GC minor
+# words/event written to BENCH_engine.json.  The allocation rate is the
+# portable number; events/sec is machine context.
+engine-bench:
+	dune exec bench/main.exe -- micro
+
 # Static analysis gate (kstat): certify the stock table cycle-free,
 # print the interference matrix, and verify the fs workload's
 # profile-derived allowlist (gaps / slack / pruned-machinery hazards).
@@ -70,7 +87,7 @@ staticcheck:
 lint:
 	dune exec bin/klint.exe -- lib
 
-check: build test lint staticcheck analyze-smoke inject-smoke specialize-smoke tenancy-smoke soak
+check: build test lint staticcheck analyze-smoke inject-smoke specialize-smoke tenancy-smoke drift-smoke soak
 
 clean:
 	dune clean

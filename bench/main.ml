@@ -395,6 +395,60 @@ let micro_tests () =
     quantile_test;
   ]
 
+(* Engine throughput: one sizeable mixed workload (timers + a contended
+   lock) with a counting probe attached, timed on the monotonic clock
+   with [Gc.minor_words] read on either side.  Events/sec is
+   machine-dependent context; allocations/event is the portable number —
+   it moves when someone adds a box to the hot path, whatever the
+   machine. *)
+let run_engine_bench () =
+  let procs = 16 and steps = 2000 in
+  let events = ref 0 in
+  let engine = Ksurf.Engine.create ~seed:7 () in
+  Ksurf.Engine.add_probe engine (fun _ -> incr events);
+  let lock = Ksurf.Lock.create ~engine ~name:"bench.engine" in
+  for _ = 1 to procs do
+    Ksurf.Engine.spawn engine (fun () ->
+        for i = 1 to steps do
+          if i mod 8 = 0 then Ksurf.Lock.with_hold lock 5.0
+          else Ksurf.Engine.delay 10.0
+        done)
+  done;
+  Gc.compact ();
+  let w0 = Gc.minor_words () in
+  let t0 = Ksurf.Clock.now_s () in
+  Ksurf.Engine.run engine;
+  let seconds = Ksurf.Clock.elapsed_s ~since:t0 in
+  let minor_words = Gc.minor_words () -. w0 in
+  let n = !events in
+  let events_per_sec =
+    if seconds > 0.0 then float_of_int n /. seconds else 0.0
+  in
+  let words_per_event =
+    if n > 0 then minor_words /. float_of_int n else 0.0
+  in
+  Format.printf
+    "@.Engine throughput (%d procs x %d steps):@.  %d events in %.3fs \
+     (%.0f events/s), %.1f minor words/event@."
+    procs steps n seconds events_per_sec words_per_event;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"engine-core\",\n\
+      \  \"procs\": %d,\n\
+      \  \"steps_per_proc\": %d,\n\
+      \  \"events\": %d,\n\
+      \  \"seconds\": %.6f,\n\
+      \  \"events_per_sec\": %.1f,\n\
+      \  \"minor_words\": %.0f,\n\
+      \  \"minor_words_per_event\": %.3f\n\
+       }\n"
+      procs steps n seconds events_per_sec minor_words words_per_event
+  in
+  Ksurf.Fileio.write_atomic ~path:"BENCH_engine.json" (fun oc ->
+      output_string oc json);
+  Format.printf "  wrote BENCH_engine.json@."
+
 let run_micro () =
   let open Bechamel in
   let open Toolkit in
@@ -419,7 +473,8 @@ let run_micro () =
   List.iter
     (fun (name, estimate) ->
       Format.printf "  %-40s %12.1f ns/run@." name estimate)
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  run_engine_bench ()
 
 (* ------------------------------------------------------------------ *)
 

@@ -1125,6 +1125,238 @@ let tenancy_cmd =
       $ policies $ export_dir $ journal_arg $ resume_arg $ jobs_arg
       $ logs_term)
 
+(* --- drift ------------------------------------------------------------- *)
+
+(* kadapt driver.  Default form sweeps (policy x dose) driftbench cells
+   and prints the dose-response table (false-positive ENOSYS vs retained
+   surface area vs time-to-reconverge).  [--smoke] is the `make check`
+   gate: double-run a small adaptive cell under the determinism checker
+   with lockdep + invariants attached to the first run, count every
+   policy hot-swap transition off the probe stream, cross-check the
+   controller accounting, and run the same cell under the static policy
+   to assert the headline dominance; any divergence, sanitizer finding
+   or accounting inconsistency exits nonzero. *)
+let drift seed scale smoke doses policies export_dir journal_path resume jobs
+    () =
+  let module A = Ksurf.Analysis in
+  let module D = Ksurf.Driftbench in
+  if smoke then begin
+    let cfg policy =
+      {
+        D.default_config with
+        D.policy;
+        dose = 2.0;
+        epochs = 24;
+        programs_per_epoch = 12;
+        corpus_programs = 16;
+        drift_at_ns = 8_000_000.0;
+        seed;
+      }
+    in
+    let last = ref None in
+    let findings = ref [] in
+    let static_done = ref false in
+    let policy_transitions = ref 0 in
+    let run_once ~probe =
+      let static = ref None in
+      let engine_ref = ref None in
+      let result =
+        timed "drift cell" (fun () ->
+            D.run
+              ~on_engine:(fun engine ->
+                engine_ref := Some engine;
+                Ksurf.Engine.add_probe engine probe;
+                if not !static_done then begin
+                  let lockdep = A.Lockdep.create () in
+                  let invariants = A.Invariants.create () in
+                  Ksurf.Engine.add_probe engine (A.Lockdep.on_event lockdep);
+                  Ksurf.Engine.add_probe engine
+                    (A.Invariants.on_event invariants);
+                  Ksurf.Engine.add_probe engine (function
+                    | Ksurf.Engine.Rank_transition { to_state; _ }
+                      when to_state = "audit" || to_state = "enforce" ->
+                        incr policy_transitions
+                    | _ -> ());
+                  static := Some (lockdep, invariants)
+                end)
+              (cfg D.Adaptive))
+      in
+      last := Some result;
+      match !static with
+      | None -> ()
+      | Some (lockdep, invariants) ->
+          static_done := true;
+          let drained =
+            match !engine_ref with
+            | Some e -> Ksurf.Engine.pending e = 0
+            | None -> false
+          in
+          findings :=
+            !findings
+            @ A.Lockdep.finish ~drained lockdep
+            @ A.Invariants.finish ~drained invariants
+    in
+    let det =
+      timed "drift" (fun () ->
+          A.Determinism.check ~run:(fun ~probe -> run_once ~probe) ())
+    in
+    findings := !findings @ A.Determinism.to_findings det;
+    let r = match !last with Some r -> r | None -> assert false in
+    let s = timed "static cell" (fun () -> D.run (cfg D.Static)) in
+    Format.printf "drift smoke seed=%d: %d ranks, dose %.1f, adaptive@." seed
+      r.D.ranks r.D.dose;
+    Format.printf
+      "  %d calls (%d post-drift), %d denied, fp %.4f, surface reduction \
+       %.3f, %d promotions / %d demotions / %d swaps, reconverge %s@."
+      r.D.calls r.D.calls_post_drift r.D.denied r.D.fp_rate r.D.reduction
+      r.D.promotions r.D.demotions r.D.swaps
+      (match r.D.reconverge_ns with
+      | None -> "n/a"
+      | Some ns -> Printf.sprintf "%.0f ns" ns);
+    Format.printf "  replay: %d vs %d events, hash %08x vs %08x — %s@."
+      det.A.Determinism.events_first det.A.Determinism.events_second
+      det.A.Determinism.hash_first det.A.Determinism.hash_second
+      (if A.Determinism.deterministic det then "identical" else "DIVERGENT");
+    (* The controller choreography must be internally consistent, every
+       hot-swap probe-visible, and the headline claim must hold even at
+       smoke scale: adaptive strictly beats static on post-drift false
+       positives while retaining most of its surface reduction. *)
+    let bad fmt = Format.kasprintf (fun m -> Some m) fmt in
+    let accounting =
+      List.filter_map Fun.id
+        [
+          (if r.D.calls <= 0 then bad "no calls issued" else None);
+          (if r.D.drifts <> 1 then
+             bad "expected exactly 1 workload drift, saw %d" r.D.drifts
+           else None);
+          (if r.D.drift_at_ns = None then
+             bad "drift never fired (sink not called)"
+           else None);
+          (if r.D.fp_rate < 0.0 || r.D.fp_rate > 1.0 then
+             bad "fp rate %.4f outside [0,1]" r.D.fp_rate
+           else None);
+          (if r.D.denied_post_drift > r.D.denied then
+             bad "post-drift denials %d exceed total %d" r.D.denied_post_drift
+               r.D.denied
+           else None);
+          (if r.D.calls_post_drift > r.D.calls then
+             bad "post-drift calls %d exceed total %d" r.D.calls_post_drift
+               r.D.calls
+           else None);
+          (if r.D.swaps <> r.D.ranks + r.D.promotions + r.D.demotions then
+             bad "swap count %d inconsistent: %d ranks + %d promotions + %d \
+                  demotions"
+               r.D.swaps r.D.ranks r.D.promotions r.D.demotions
+           else None);
+          (if !policy_transitions <> r.D.swaps then
+             bad "probe saw %d policy transitions, env counted %d swaps"
+               !policy_transitions r.D.swaps
+           else None);
+          (if r.D.promotions < r.D.ranks then
+             bad "only %d promotions across %d ranks: some rank never left \
+                  audit"
+               r.D.promotions r.D.ranks
+           else None);
+          (if r.D.demotions < 1 then
+             bad "dose %.1f drift triggered no demotion" r.D.dose
+           else None);
+          (if s.D.denied = 0 then
+             bad "static policy denied nothing under drift" else None);
+          (if r.D.fp_rate >= s.D.fp_rate then
+             bad "adaptive fp %.4f does not beat static %.4f" r.D.fp_rate
+               s.D.fp_rate
+           else None);
+          (if s.D.reduction > 0.0 && r.D.reduction < 0.4 *. s.D.reduction then
+             bad "adaptive retains only %.0f%% of static's surface reduction"
+               (100.0 *. r.D.reduction /. s.D.reduction)
+           else None);
+        ]
+    in
+    List.iter (fun m -> Format.printf "  FAIL: %s@." m) accounting;
+    List.iter (fun f -> Format.printf "  %a@." A.Finding.pp f) !findings;
+    if accounting <> [] || !findings <> [] then exit 1;
+    Format.printf
+      "  no findings: adaptive cell is deterministic, clean, accounting \
+       consistent, dominates static@."
+  end
+  else begin
+    let journal = journal_of journal_path resume in
+    let doses = match doses with [] -> None | l -> Some l in
+    let policies =
+      match policies with
+      | [] -> None
+      | l ->
+          Some
+            (List.map
+               (fun p ->
+                 match D.policy_of_string p with
+                 | Some p -> p
+                 | None ->
+                     Format.eprintf
+                       "unknown policy %S (static|audit|adaptive)@." p;
+                     exit 2)
+               l)
+    in
+    let t =
+      with_pool jobs (fun pool ->
+          timed "drift" (fun () ->
+              E.Drift.run ~seed ~scale ?doses ?policies ?journal ~pool ()))
+    in
+    Format.printf "%a@." E.Drift.pp t;
+    (match export_dir with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun p -> Format.printf "wrote %s@." p)
+          (Ksurf.Export.drift ~dir t))
+  end
+
+let drift_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Gate mode: double-run a small adaptive driftbench cell under \
+             the sanitizers, cross-check the controller accounting against \
+             the probe stream, and assert adaptive dominates static; exit \
+             nonzero on divergence, findings or inconsistency.")
+  in
+  let doses =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "dose" ] ~docv:"D,..."
+          ~doc:
+            "Drift doses to sweep; the injected mix shift is dose x 0.25 \
+             (default: 0,1,2,3).")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "policy" ] ~docv:"P,..."
+          ~doc:
+            "Policies to sweep: $(b,static), $(b,audit) or $(b,adaptive) \
+             (default: all).")
+  in
+  let export_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:"Write drift.csv into $(docv) (study mode only).")
+  in
+  Cmd.v
+    (Cmd.info "drift"
+       ~doc:
+         "kadapt study: online adaptive specialization under workload drift \
+          — policy x dose, tabling false-positive ENOSYS rate vs retained \
+          surface area vs time-to-reconverge")
+    Term.(
+      const drift $ seed_arg $ scale_arg $ smoke $ doses $ policies
+      $ export_dir $ journal_arg $ resume_arg $ jobs_arg $ logs_term)
+
 let all_cmd =
   experiment_cmd "all" ~doc:"Run every experiment in sequence"
     (fun ~seed ~scale ~pool ->
@@ -1159,6 +1391,7 @@ let main_cmd =
       dose_cmd;
       recover_cmd;
       tenancy_cmd;
+      drift_cmd;
       table1_cmd;
       table2_cmd;
       fig2_cmd;

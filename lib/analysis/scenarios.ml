@@ -27,6 +27,7 @@ type t =
   | Recovered_bsp
   | Parallel_sweep
   | Tenancy
+  | Adaptive_drift
 
 let all =
   [
@@ -40,6 +41,7 @@ let all =
     Recovered_bsp;
     Parallel_sweep;
     Tenancy;
+    Adaptive_drift;
   ]
 
 let to_string = function
@@ -53,6 +55,7 @@ let to_string = function
   | Recovered_bsp -> "recovered-bsp"
   | Parallel_sweep -> "parallel-sweep"
   | Tenancy -> "tenancy"
+  | Adaptive_drift -> "adaptive-drift"
 
 let of_string = function
   | "varbench" -> Some Varbench
@@ -65,6 +68,7 @@ let of_string = function
   | "recovered-bsp" -> Some Recovered_bsp
   | "parallel-sweep" -> Some Parallel_sweep
   | "tenancy" -> Some Tenancy
+  | "adaptive-drift" -> Some Adaptive_drift
   | _ -> None
 
 (* Scenarios the sanitizers must pass on; [Inversion] is the negative
@@ -82,6 +86,7 @@ let stock =
     Recovered_bsp;
     Parallel_sweep;
     Tenancy;
+    Adaptive_drift;
   ]
 
 let small_corpus ~seed =
@@ -351,6 +356,28 @@ let run_tenancy ~seed ~on_engine =
          epoch_ns = 5e7;
        })
 
+(* Adaptive-drift variant: a small kadapt driftbench cell — per-rank
+   controllers audit, promote to Enforce, absorb a mid-run workload
+   drift (demote, re-learn, re-promote), all policy hot-swaps flowing
+   through [Env.swap_policy]'s probe-visible transitions.  The
+   invariant analyzer's policy-protocol checks then assert the
+   controller choreography itself: legal audit/enforce edges only, no
+   discontinuous policy states, each swap ordinal used once. *)
+let run_adaptive_drift ~seed ~on_engine =
+  let module Driftbench = Ksurf_adapt.Driftbench in
+  ignore
+    (Driftbench.run ~on_engine
+       {
+         Driftbench.default_config with
+         Driftbench.policy = Driftbench.Adaptive;
+         dose = 2.0;
+         epochs = 24;
+         programs_per_epoch = 12;
+         corpus_programs = 16;
+         drift_at_ns = 8_000_000.0;
+         seed;
+       })
+
 let run t ~seed ~on_engine =
   match t with
   | Varbench -> run_varbench ~seed ~on_engine
@@ -363,3 +390,4 @@ let run t ~seed ~on_engine =
   | Recovered_bsp -> run_recovered_bsp ~seed ~on_engine
   | Parallel_sweep -> run_parallel_sweep ~seed ~on_engine
   | Tenancy -> run_tenancy ~seed ~on_engine
+  | Adaptive_drift -> run_adaptive_drift ~seed ~on_engine

@@ -20,7 +20,13 @@
     [on_engine] for the sanitizers) — plus a [Tenancy] variant running
     a small churny adaptive {!Ksurf_tenant.Fleet}: lifecycle storms
     through the shared cgroup accounting locks, epoch-driven
-    autoscaling and adaptive migration, all under the sanitizers. *)
+    autoscaling and adaptive migration, all under the sanitizers —
+    plus an [Adaptive_drift] variant running a small
+    {!Ksurf_adapt.Driftbench} cell: per-rank controllers audit,
+    promote, absorb a mid-run workload drift and re-specialize, with
+    every policy hot-swap probe-visible so the invariant analyzer can
+    assert the controller choreography (legal audit/enforce edges
+    only, each swap ordinal used once). *)
 
 type t =
   | Varbench
@@ -33,6 +39,7 @@ type t =
   | Recovered_bsp
   | Parallel_sweep
   | Tenancy
+  | Adaptive_drift
 
 val all : t list
 

@@ -1336,3 +1336,114 @@ module Tenancy = struct
         | None -> Format.fprintf ppf "  %-13s  no cell attains the floor@." p)
       (frontier t)
 end
+
+(* ------------------------------------------------------------------ *)
+
+module Drift = struct
+  module Driftbench = Ksurf_adapt.Driftbench
+
+  type cell = Driftbench.result
+
+  type t = { cells : cell list }
+
+  let default_doses = [ 0.0; 1.0; 2.0; 3.0 ]
+  let default_policies = Driftbench.all_policies
+
+  (* The scale knob sizes the run, not the question: more epochs mean
+     the adaptive policy's audit windows amortise over a longer enforced
+     life, exactly as they would in a long-running deployment. *)
+  let cell_config ~seed ~scale ~policy ~dose =
+    let base = Driftbench.default_config in
+    let epochs, programs_per_epoch, drift_at_ns =
+      match scale with
+      | Quick -> (36, 16, 16_000_000.0)
+      | Full -> (96, 24, 24_000_000.0)
+    in
+    {
+      base with
+      Driftbench.policy;
+      dose;
+      epochs;
+      programs_per_epoch;
+      drift_at_ns;
+      seed;
+    }
+
+  let cell_key (policy, dose) =
+    Printf.sprintf "drift:%s:%.2f" (Driftbench.policy_name policy) dose
+
+  let run ?(seed = 42) ?(scale = Full) ?(doses = default_doses)
+      ?(policies = default_policies) ?journal ?pool () =
+    let specs =
+      List.concat_map
+        (fun policy -> List.map (fun dose -> (policy, dose)) doses)
+        policies
+    in
+    let cells =
+      Sweep.run ?pool ?journal ~key:cell_key
+        (fun (policy, dose) ->
+          Driftbench.run (cell_config ~seed ~scale ~policy ~dose))
+        specs
+    in
+    { cells }
+
+  let cell t ~policy ~dose =
+    List.find_opt
+      (fun (c : cell) ->
+        c.Driftbench.policy = policy && c.Driftbench.dose = dose)
+      t.cells
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "Drift study: false-positive ENOSYS vs retained surface area vs \
+       time-to-reconverge, per policy x dose@.@.";
+    let rows =
+      List.map
+        (fun (c : cell) ->
+          [
+            c.Driftbench.policy;
+            Printf.sprintf "%.1f" c.Driftbench.dose;
+            string_of_int c.Driftbench.calls;
+            Printf.sprintf "%.4f" c.Driftbench.fp_rate;
+            Printf.sprintf "%.3f" c.Driftbench.reduction;
+            (match c.Driftbench.reconverge_ns with
+            | None -> "n/a"
+            | Some ns -> Printf.sprintf "%.0f" (ns /. 1e3));
+            string_of_int c.Driftbench.promotions;
+            string_of_int c.Driftbench.demotions;
+            string_of_int c.Driftbench.respecializations;
+            string_of_int c.Driftbench.drifts;
+          ])
+        t.cells
+    in
+    Report.table
+      ~header:
+        [
+          "policy"; "dose"; "calls"; "fp rate"; "surface red.";
+          "reconverge (us)"; "promote"; "demote"; "respec"; "drifts";
+        ]
+      ~rows ppf;
+    (* The headline comparison at each drifted dose. *)
+    let doses =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (c : cell) ->
+             if c.Driftbench.dose > 0.0 then Some c.Driftbench.dose else None)
+           t.cells)
+    in
+    List.iter
+      (fun dose ->
+        match
+          (cell t ~policy:"static" ~dose, cell t ~policy:"adaptive" ~dose)
+        with
+        | Some s, Some a ->
+            Format.fprintf ppf
+              "@.dose %.1f: adaptive fp %.4f vs static %.4f; adaptive \
+               retains %.0f%% of static's surface reduction@."
+              dose a.Driftbench.fp_rate s.Driftbench.fp_rate
+              (if s.Driftbench.reduction > 0.0 then
+                 100.0 *. a.Driftbench.reduction /. s.Driftbench.reduction
+               else 0.0)
+        | _ -> ())
+      doses
+end

@@ -399,3 +399,38 @@ module Tenancy : sig
 
   val pp : Format.formatter -> t -> unit
 end
+
+module Drift : sig
+  type cell = Ksurf_adapt.Driftbench.result
+
+  type t = { cells : cell list }
+
+  val default_doses : float list
+  (** [0; 1; 2; 3] — dose 0 is the no-drift control. *)
+
+  val default_policies : Ksurf_adapt.Driftbench.policy list
+  (** static-enforce, audit-only, adaptive. *)
+
+  val cell_config :
+    seed:int -> scale:scale -> policy:Ksurf_adapt.Driftbench.policy ->
+    dose:float -> Ksurf_adapt.Driftbench.config
+  (** The per-cell harness shape: [scale] sets epochs and programs per
+      epoch (the question — fp ENOSYS vs retained surface vs
+      reconvergence — is the same at both). *)
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?doses:float list ->
+    ?policies:Ksurf_adapt.Driftbench.policy list ->
+    ?journal:Ksurf_recov.Journal.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
+  (** One {!Ksurf_adapt.Driftbench} run per (policy x dose) cell through
+      the kpar sweep.  With [journal], cells already recorded (keys
+      [drift:<policy>:<dose>]) are skipped and omitted from the
+      result. *)
+
+  val cell_key : Ksurf_adapt.Driftbench.policy * float -> string
+  (** Journal key for one sweep cell: [drift:<policy>:<dose>]. *)
+
+  val cell : t -> policy:string -> dose:float -> cell option
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -279,3 +279,47 @@ let tenancy ~dir (t : E.Tenancy.t) =
            ])
          t.E.Tenancy.cells);
   [ p ]
+
+let drift ~dir (t : E.Drift.t) =
+  let p = path dir "drift.csv" in
+  let opt_ns = function
+    | None -> ""
+    | Some ns -> Printf.sprintf "%.0f" ns
+  in
+  Csv.write ~path:p
+    ~header:
+      [ "policy"; "dose"; "ranks"; "epochs"; "calls"; "denied";
+        "calls_post_drift"; "denied_post_drift"; "fp_rate"; "p99_ns";
+        "surface"; "surface_full"; "reduction"; "drift_at_ns";
+        "reconverge_ns"; "promotions"; "demotions"; "respecializations";
+        "swaps"; "drifts"; "mean_denial_rate"; "p95_divergence" ]
+    ~rows:
+      (List.map
+         (fun (c : E.Drift.cell) ->
+           let module D = Ksurf_adapt.Driftbench in
+           [
+             c.D.policy;
+             Printf.sprintf "%.2f" c.D.dose;
+             string_of_int c.D.ranks;
+             string_of_int c.D.epochs;
+             string_of_int c.D.calls;
+             string_of_int c.D.denied;
+             string_of_int c.D.calls_post_drift;
+             string_of_int c.D.denied_post_drift;
+             Printf.sprintf "%.6f" c.D.fp_rate;
+             Printf.sprintf "%.0f" c.D.p99_ns;
+             Printf.sprintf "%.4f" c.D.surface;
+             Printf.sprintf "%.4f" c.D.surface_full;
+             Printf.sprintf "%.4f" c.D.reduction;
+             opt_ns c.D.drift_at_ns;
+             opt_ns c.D.reconverge_ns;
+             string_of_int c.D.promotions;
+             string_of_int c.D.demotions;
+             string_of_int c.D.respecializations;
+             string_of_int c.D.swaps;
+             string_of_int c.D.drifts;
+             Printf.sprintf "%.6f" c.D.mean_denial_rate;
+             Printf.sprintf "%.6f" c.D.p95_divergence;
+           ])
+         t.E.Drift.cells);
+  [ p ]

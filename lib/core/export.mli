@@ -33,3 +33,8 @@ val tenancy : dir:string -> Experiments.Tenancy.t -> string list
 (** One row per (policy, tenants, churn) fleet cell: latency summary,
     SLO attainment, churn-storm and autoscaling counters, and the
     final placement-class census. *)
+
+val drift : dir:string -> Experiments.Drift.t -> string list
+(** One row per (policy, dose) cell of the kadapt drift study:
+    false-positive ENOSYS rate, retained surface area, reconvergence
+    time, and the promotion / demotion / swap / drift counters. *)

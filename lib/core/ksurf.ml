@@ -26,6 +26,8 @@
       (see [ksurf_cli recover])
     - {!Apps}, {!Service}, {!Runner}, {!Cluster} — tailbench workloads,
       single-node and 64-node experiments
+    - {!Adapt}, {!Driftbench} — online adaptive specialization: audit,
+      promote, detect drift, re-specialize live (see [ksurf_cli drift])
     - {!Experiments} — drivers that regenerate every table and figure
     - {!Report} — terminal rendering *)
 
@@ -81,6 +83,9 @@ module Env = Ksurf_env.Env
 module Profile = Ksurf_spec.Profile
 module Kspec = Ksurf_spec.Spec
 module Specializer = Ksurf_spec.Specializer
+
+module Adapt = Ksurf_adapt.Controller
+module Driftbench = Ksurf_adapt.Driftbench
 
 module Samples = Ksurf_varbench.Samples
 module Harness = Ksurf_varbench.Harness

@@ -42,6 +42,7 @@ type t = {
   ranks : rank array;
   instances : Instance.t list;
   mutable fault : fault_ctl option;
+  mutable swaps : int;  (** policy hot-swaps performed via {!swap_policy} *)
 }
 
 let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Config.default)
@@ -67,7 +68,7 @@ let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Conf
         units;
       let ranks = Array.of_list (List.rev !ranks) in
       Instance.set_tenants host (Array.length ranks);
-      { kind; engine; ranks; instances = [ host ]; fault = None }
+      { kind; engine; ranks; instances = [ host ]; fault = None; swaps = 0 }
   | Multikernel ->
       (* MultiK-style: one (typically specialized) kernel instance per
          partition unit, on bare metal.  Ranks pay native syscall costs —
@@ -99,6 +100,7 @@ let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Conf
         ranks = Array.of_list (List.rev !ranks);
         instances = kernels;
         fault = None;
+        swaps = 0;
       }
   | Kvm virt ->
       let hv = Hypervisor.create ~engine ~kernel_config ~virt () in
@@ -127,6 +129,7 @@ let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Conf
         ranks = Array.of_list (List.rev !ranks);
         instances = List.map Vm.guest vms;
         fault = None;
+        swaps = 0;
       }
   | Docker ->
       let host =
@@ -151,7 +154,7 @@ let deploy ~engine ?(machine = Machine.epyc) ?(kernel_config = Ksurf_kernel.Conf
         units;
       let ranks = Array.of_list (List.rev !ranks) in
       Instance.set_tenants host (Array.length ranks);
-      { kind; engine; ranks; instances = [ host ]; fault = None }
+      { kind; engine; ranks; instances = [ host ]; fault = None; swaps = 0 }
 
 let kind t = t.kind
 let engine t = t.engine
@@ -249,6 +252,42 @@ let try_syscall t ~rank:i spec (arg : Arg.t) =
 
 let instances t = t.instances
 
+(* Spec-swap hook (kadapt): replace rank [i]'s syscall policy atomically
+   with respect to virtual time.  The outgoing policy's denial count is
+   carried into the incoming one, so [Specializer.denials] stays
+   monotone across swaps; each swap is probe-visible as a
+   [Rank_transition] between policy states so the trace tooling sees
+   the control loop like any other kernel work. *)
+let policy_state = function
+  | None -> "unfiltered"
+  | Some (p : Instance.syscall_policy) -> (
+      match p.Instance.policy_mode with
+      | Instance.Audit -> "audit"
+      | Instance.Enforce -> "enforce")
+
+let swap_policy t ~rank:i policy =
+  let inst = instance_of_rank t i in
+  let old_policy = Instance.syscall_policy inst ~tenant:i in
+  (match (old_policy, policy) with
+  | Some old_p, Some new_p ->
+      new_p.Instance.denials := !(old_p.Instance.denials)
+  | _ -> ());
+  Instance.set_syscall_policy inst ~tenant:i policy;
+  t.swaps <- t.swaps + 1;
+  if Engine.observed t.engine then
+    Engine.emit t.engine
+      (Engine.Rank_transition
+         {
+           now = Engine.now t.engine;
+           pid = Engine.current_pid t.engine;
+           rank = i;
+           from_state = policy_state old_policy;
+           to_state = policy_state policy;
+           incident = t.swaps;
+         })
+
+let policy_swaps t = t.swaps
+
 let barrier_cost_per_party t =
   match t.kind with
   | Native -> 1_500.0
@@ -259,13 +298,16 @@ let barrier_cost_per_party t =
 (* Functional surface area: the structural sharing term scaled by the
    fraction of the coverage universe the rank's specialization policy
    leaves reachable.  An unspecialized rank sees the full structural
-   area (reachable = 1). *)
+   area (reachable = 1), and so does an Audit-mode policy — an
+   allowlist that only counts would-be denials stops nothing, so it
+   reduces nothing. *)
 let surface_area_of_rank t i =
   let inst = instance_of_rank t i in
   let structural = Instance.surface_area inst in
   match Instance.syscall_policy inst ~tenant:i with
-  | None -> structural
-  | Some p -> structural *. p.Instance.reachable
+  | Some p when p.Instance.policy_mode = Instance.Enforce ->
+      structural *. p.Instance.reachable
+  | _ -> structural
 
 let busy_of_rank t i =
   match (rank t i).target with

@@ -14,6 +14,7 @@ type stats = {
   cache_flushes : int;
   slow_memory_windows : int;
   crashes_scheduled : int;
+  workload_drifts : int;
 }
 
 type counters = {
@@ -25,6 +26,7 @@ type counters = {
   mutable c_flush : int;
   mutable c_slowmem : int;
   c_crashes : int;
+  mutable c_drift : int;
 }
 
 type t = {
@@ -32,6 +34,7 @@ type t = {
   the_plan : Plan.t;
   counters : counters;
   mutable active : bool;
+  mutable drift_sink : (shift:float -> unit) option;
 }
 
 (* Same class rule as ksan's lockdep ("k3.inode[7]" -> "inode"), kept
@@ -140,9 +143,10 @@ let arm ~env ~plan ~seed () =
       c_flush = 0;
       c_slowmem = 0;
       c_crashes = List.length crashes;
+      c_drift = 0;
     }
   in
-  let t = { env; the_plan = plan; counters; active = true } in
+  let t = { env; the_plan = plan; counters; active = true; drift_sink = None } in
   (* 1. Transient syscall failures + the crash/restart schedule, via the
      env fault control. *)
   let syscall_errno =
@@ -315,6 +319,20 @@ let arm ~env ~plan ~seed () =
                 end
               in
               loop ())
+      | Plan.Workload_drift { at_ns; shift } ->
+          (* One process per drift: sleep to the trigger time, announce
+             the injection, and hand the mix shift to whatever sink the
+             harness registered.  Without a sink the drift still fires
+             (probe-visible, counted) — the workload just ignores it. *)
+          Engine.spawn engine (fun () ->
+              Engine.delay at_ns;
+              if t.active then begin
+                counters.c_drift <- counters.c_drift + 1;
+                inject engine "workload-drift" shift;
+                match t.drift_sink with
+                | Some sink -> sink ~shift
+                | None -> ()
+              end)
       | Plan.Syscall_failures _ | Plan.Daemon_storm _ | Plan.Lock_preemption _
       | Plan.Device_stall _ | Plan.Rank_crash _ ->
           ())
@@ -334,6 +352,8 @@ let disarm t =
       (Env.instances t.env)
   end
 
+let set_drift_sink t sink = t.drift_sink <- sink
+
 let stats t =
   {
     syscall_faults = t.counters.c_syscall;
@@ -344,13 +364,14 @@ let stats t =
     cache_flushes = t.counters.c_flush;
     slow_memory_windows = t.counters.c_slowmem;
     crashes_scheduled = t.counters.c_crashes;
+    workload_drifts = t.counters.c_drift;
   }
 
 let total_injections t =
   let s = stats t in
   s.syscall_faults + s.lock_preemptions + s.device_stalls
   + s.daemon_storm_passes + s.ipi_storms + s.cache_flushes
-  + s.slow_memory_windows
+  + s.slow_memory_windows + s.workload_drifts
 
 let plan t = t.the_plan
 
@@ -363,6 +384,8 @@ let pp_stats ppf s =
      ipi storms            %d@,\
      cache-flush windows   %d@,\
      slow-memory windows   %d@,\
-     crashes scheduled     %d@]"
+     crashes scheduled     %d@,\
+     workload drifts       %d@]"
     s.syscall_faults s.lock_preemptions s.device_stalls s.daemon_storm_passes
     s.ipi_storms s.cache_flushes s.slow_memory_windows s.crashes_scheduled
+    s.workload_drifts

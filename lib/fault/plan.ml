@@ -37,6 +37,7 @@ type action =
   | Slow_memory of { period_ns : float; window_ns : float; dilation : float }
   | Device_stall of { probability : float; stall_ns : float }
   | Rank_crash of rank_crash
+  | Workload_drift of { at_ns : float; shift : float }
 
 type t = { name : string; actions : action list }
 
@@ -85,6 +86,11 @@ let scale_action k = function
         (Device_stall
            { probability = clamp01 (probability *. k); stall_ns = stall_ns *. k })
   | Rank_crash c -> if k <= 0.0 then None else Some (Rank_crash c)
+  | Workload_drift { at_ns; shift } ->
+      (* The dose knob scales how far the syscall mix shifts, not when:
+         a drift that never moves the mix (k = 0) is no drift at all. *)
+      if k <= 0.0 then None
+      else Some (Workload_drift { at_ns; shift = clamp01 (shift *. k) })
 
 let scale k t =
   if k < 0.0 then invalid_arg "Plan.scale: negative intensity";
@@ -127,6 +133,8 @@ let action_to_string = function
       match restart_after_ns with
       | None -> Printf.sprintf "rank-crash rank=%d at=%g" rank at_ns
       | Some r -> Printf.sprintf "rank-crash rank=%d at=%g restart=%g" rank at_ns r)
+  | Workload_drift { at_ns; shift } ->
+      Printf.sprintf "workload-drift at=%g shift=%g" at_ns shift
 
 let to_string t =
   String.concat "\n"
@@ -251,6 +259,10 @@ let parse_action line =
             | Some v -> Result.map Option.some (parse_float "restart" v)
           in
           Ok (Some (Rank_crash { rank; at_ns; restart_after_ns }))
+      | "workload-drift" ->
+          let* at_ns = find_float kvs "at" ~default:None in
+          let* shift = find_float kvs "shift" ~default:None in
+          Ok (Some (Workload_drift { at_ns; shift }))
       | other -> Error (Printf.sprintf "unknown fault action %S" other))
 
 let of_string s =
@@ -353,6 +365,17 @@ let crashy_preset =
         ];
   }
 
+let drift_preset =
+  (* At intensity 1.0 a quarter of post-drift calls come from subsystems
+     the audited profile never saw — enough to blow past any sane
+     denial-rate threshold without making the pre-drift phase unusable
+     for learning.  [at_ns] sits well after the adaptive controller's
+     audit window at driftbench epoch cadences. *)
+  {
+    name = "drift";
+    actions = [ Workload_drift { at_ns = 2_000_000.0; shift = 0.25 } ];
+  }
+
 let presets =
   [
     ("syscalls", syscalls_preset);
@@ -360,6 +383,7 @@ let presets =
     ("preempt", preempt_preset);
     ("mixed", { mixed_preset with name = "mixed" });
     ("crashy", { crashy_preset with name = "crashy" });
+    ("drift", drift_preset);
   ]
 
 let preset name = List.assoc_opt name presets

@@ -57,6 +57,13 @@ type action =
   | Device_stall of { probability : float; stall_ns : float }
       (** stretch block-device occupancy at acquisition time *)
   | Rank_crash of rank_crash
+  | Workload_drift of { at_ns : float; shift : float }
+      (** at virtual time [at_ns], shift fraction [shift] of the
+          workload's syscall mix onto subsystems outside its learned
+          profile.  The fault layer only announces the drift — the
+          harness registers a sink ({!Kfault.set_drift_sink}) that
+          actually mutates its program mix, so any workload generator
+          can opt in. *)
 
 type t = { name : string; actions : action list }
 
@@ -68,7 +75,8 @@ val scale : float -> t -> t
     [1 + k*(m-1)], storm periods divide by [k], stretch/stall sizes and
     cache pressure multiply by [k].  [k = 0] yields a plan that injects
     nothing; crash schedules are kept verbatim for [k > 0] (a crash has
-    no meaningful half-dose) and dropped at [k = 0]. *)
+    no meaningful half-dose) and dropped at [k = 0].  Workload drifts
+    scale their mix shift (clamped to 1) and keep their trigger time. *)
 
 val to_string : t -> string
 (** One action per line; round-trips through {!of_string}. *)
@@ -83,7 +91,8 @@ val load : string -> (t, string) result
 val presets : (string * t) list
 (** Named built-in plans: ["syscalls"], ["storms"], ["preempt"],
     ["mixed"] (every mechanism except crashes), ["crashy"] (mixed plus
-    a crash/restart schedule). *)
+    a crash/restart schedule), ["drift"] (a mid-run workload syscall-mix
+    shift — the kadapt dose–response driver). *)
 
 val preset : string -> t option
 val pp : Format.formatter -> t -> unit

@@ -19,6 +19,18 @@ let of_corpus ~name corpus =
     coverage = Corpus.coverage corpus;
   }
 
+let mix t =
+  let v =
+    Array.of_list (List.map (fun cat ->
+        match List.assoc_opt cat t.categories with
+        | Some n -> float_of_int n
+        | None -> 0.0)
+      Category.all)
+  in
+  let total = Array.fold_left ( +. ) 0.0 v in
+  if total > 0.0 then Array.iteri (fun i x -> v.(i) <- x /. total) v;
+  v
+
 let retained_categories t =
   List.filter_map
     (fun cat ->
@@ -76,6 +88,7 @@ let observe r (p : Program.t) =
   r.blocks <- Coverage.Set.union r.blocks (Coverage.of_program p)
 
 let observed_programs r = r.programs
+let observed_blocks r = Coverage.Set.cardinal r.blocks
 
 let snapshot r =
   if r.programs = 0 then invalid_arg "Profile.snapshot: nothing observed";

@@ -20,6 +20,12 @@ type t = {
 
 val of_corpus : name:string -> Ksurf_syzgen.Corpus.t -> t
 
+val mix : t -> float array
+(** Normalized per-category call-site fractions in
+    {!Ksurf_kernel.Category.all} order (sums to 1 when any call site was
+    recorded, all zeros otherwise).  The baseline the kadapt drift
+    detector diverges against. *)
+
 val retained_categories : t -> Ksurf_kernel.Category.t list
 (** Categories with at least one observed call site, in
     {!Ksurf_kernel.Category.all} order.  Everything else is machinery
@@ -44,6 +50,10 @@ type recorder
 val recorder : name:string -> unit -> recorder
 val observe : recorder -> Ksurf_syzgen.Program.t -> unit
 val observed_programs : recorder -> int
+
+val observed_blocks : recorder -> int
+(** Distinct kernel basic blocks covered so far — the coverage-stability
+    signal kadapt's promotion rule watches across audit epochs. *)
 
 val snapshot : recorder -> t
 (** Raises [Invalid_argument] if nothing was observed. *)

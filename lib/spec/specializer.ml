@@ -50,23 +50,24 @@ let kernel_config ?(base = Config.default) s =
   List.fold_left (fun cfg m -> Config.without_machinery m cfg) base
     (pruned_machinery s)
 
-let install env ~rank (s : Spec.t) =
+let policy (s : Spec.t) =
   let allowed = Hashtbl.create (List.length s.Spec.allowlist) in
   List.iter (fun n -> Hashtbl.replace allowed n ()) s.Spec.allowlist;
-  let policy =
-    {
-      Instance.allows = (fun name -> Hashtbl.mem allowed name);
-      policy_mode =
-        (match s.Spec.mode with
-        | Spec.Audit -> Instance.Audit
-        | Spec.Enforce -> Instance.Enforce);
-      reachable = s.Spec.reachable;
-      denials = ref 0;
-    }
-  in
+  {
+    Instance.allows = (fun name -> Hashtbl.mem allowed name);
+    policy_mode =
+      (match s.Spec.mode with
+      | Spec.Audit -> Instance.Audit
+      | Spec.Enforce -> Instance.Enforce);
+    reachable = s.Spec.reachable;
+    denials = ref 0;
+  }
+
+let install env ~rank (s : Spec.t) =
   Instance.set_syscall_policy
     (Env.instance_of_rank env rank)
-    ~tenant:rank (Some policy)
+    ~tenant:rank
+    (Some (policy s))
 
 let install_all env s =
   for rank = 0 to Env.rank_count env - 1 do

@@ -100,3 +100,5 @@ let value t =
     Quantile.of_sorted sorted t.q
   end
   else t.heights.(2)
+
+let quantile_opt t = if t.n = 0 then None else Some (value t)

@@ -20,5 +20,11 @@ val value : t -> float
 (** Current estimate.  Before five samples have arrived, falls back to
     the exact small-sample quantile.  Raises [Failure] when empty. *)
 
+val quantile_opt : t -> float option
+(** [Some (value t)] when at least one sample has arrived, [None] on an
+    empty estimator.  The safe no-data path for epoch logic that may
+    legitimately observe nothing (an idle tenant, a zero-length audit
+    window). *)
+
 val quantile : t -> float
 (** The target quantile this estimator tracks. *)

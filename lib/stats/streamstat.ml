@@ -77,6 +77,9 @@ let exact_quantile t q =
     Quantile.of_sorted sorted q
   end
 
-let p50 t = if t.spilled then P2_quantile.value t.q50 else exact_quantile t 0.5
-let p95 t = if t.spilled then P2_quantile.value t.q95 else exact_quantile t 0.95
-let p99 t = if t.spilled then P2_quantile.value t.q99 else exact_quantile t 0.99
+let spilled_quantile q =
+  Option.value (P2_quantile.quantile_opt q) ~default:0.0
+
+let p50 t = if t.spilled then spilled_quantile t.q50 else exact_quantile t 0.5
+let p95 t = if t.spilled then spilled_quantile t.q95 else exact_quantile t 0.95
+let p99 t = if t.spilled then spilled_quantile t.q99 else exact_quantile t 0.99

@@ -94,5 +94,6 @@ let start_tracked ~env ~corpus ~ranks ?(think_time = 0.0) () =
       {
         calls = Ksurf_util.Welford.count mean;
         mean_ns = Ksurf_util.Welford.mean mean;
-        p99_ns = Ksurf_stats.P2_quantile.value p99;
+        p99_ns =
+          Option.value (Ksurf_stats.P2_quantile.quantile_opt p99) ~default:0.0;
       } )
