@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test analyze-smoke inject-smoke specialize-smoke tenancy-smoke drift-smoke soak bench-json tenancy-bench engine-bench staticcheck lint check clean
+.PHONY: all build test analyze-smoke inject-smoke specialize-smoke tenancy-smoke drift-smoke torture-smoke soak bench-json tenancy-bench engine-bench staticcheck lint check clean
 
 all: build
 
@@ -46,6 +46,15 @@ tenancy-smoke:
 drift-smoke:
 	dune exec bin/ksurf_cli.exe -- drift --seed 42 --smoke
 
+# Torture smoke run (kdur): the quick crash-consistency grid (writer
+# path x dose) at 1 and 4 workers with byte-compared exports and zero
+# tolerated violations, then live scenario cells journalled under an
+# armed host-I/O fault plan (transients, an ENOSPC window, a scheduled
+# crash) with lockdep + determinism + invariants watching; exits
+# nonzero on any violation, divergence or finding.
+torture-smoke:
+	dune exec bin/ksurf_cli.exe -- torture --seed 42 --smoke
+
 # Chaos soak: supervised BSP under the "crashy" plan plus random
 # crashes with each recovery policy (all supersteps must complete),
 # then a kill-and-resume round trip from a mid-run checkpoint that
@@ -83,11 +92,12 @@ staticcheck:
 	dune exec bin/ksurf_cli.exe -- staticcheck --spec fs
 
 # Source lint (klint): module-level mutable state in the
-# domain-parallel layers and raw open_out result writes.
+# domain-parallel layers, and raw open_out / Unix.openfile /
+# Sys.rename durable writes that bypass Fileio.
 lint:
 	dune exec bin/klint.exe -- lib
 
-check: build test lint staticcheck analyze-smoke inject-smoke specialize-smoke tenancy-smoke drift-smoke soak
+check: build test lint staticcheck analyze-smoke inject-smoke specialize-smoke tenancy-smoke drift-smoke torture-smoke soak
 
 clean:
 	dune clean

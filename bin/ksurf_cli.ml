@@ -71,13 +71,35 @@ let resume_arg =
   Arg.(value & flag & info [ "resume" ] ~doc)
 
 (* Without --resume a pre-existing journal is discarded: the sweep is a
-   fresh run that happens to be journalled. *)
+   fresh run that happens to be journalled.  All I/O goes through
+   Fileio so a bad --journal path exits 3 like every other I/O
+   failure, and the journal's directory entry is durable. *)
 let journal_of path resume =
   match path with
   | None -> None
   | Some p ->
-      if (not resume) && Sys.file_exists p then Sys.remove p;
+      Ksurf.Fileio.ensure_dir (Filename.dirname p);
+      if (not resume) && Sys.file_exists p then Ksurf.Fileio.remove p;
       Some (Ksurf.Recov_journal.load ~path:p ())
+
+(* A full disk no longer aborts a sweep: the journal defers persists
+   and keeps completed cells buffered in memory.  If it is still dirty
+   once the sweep is done, the results above are real but the resume
+   state is not on disk — stamp the run degraded and exit 3. *)
+let finish_journal = function
+  | None -> ()
+  | Some j ->
+      Ksurf.Recov_journal.flush j;
+      if Ksurf.Recov_journal.persist_pending j then begin
+        Format.eprintf
+          "ksurf: DEGRADED: %d journal persist(s) deferred%s; completed \
+           cells were kept in memory but the resume state is not durable@."
+          (Ksurf.Recov_journal.deferred j)
+          (match Ksurf.Recov_journal.last_error j with
+          | Some e -> " (" ^ e ^ ")"
+          | None -> "");
+        exit 3
+      end
 
 (* --- corpus ---------------------------------------------------------- *)
 
@@ -234,13 +256,11 @@ let analyze seed scenario checks csv () =
           Format.printf "%a@." A.Sanitizer.pp_outcome outcome;
           (match csv with
           | None -> ()
-          | Some path -> (
-              try
-                A.Finding.export_csv ~path outcome.A.Sanitizer.findings;
-                Format.printf "findings written to %s@." path
-              with Sys_error msg ->
-                Format.eprintf "cannot write CSV: %s@." msg;
-                exit 2));
+          | Some path ->
+              (* I/O trouble surfaces as Fileio.Io_error and exits 3
+                 through the shared handler, like every subcommand. *)
+              A.Finding.export_csv ~path outcome.A.Sanitizer.findings;
+              Format.printf "findings written to %s@." path);
           if outcome.A.Sanitizer.findings <> [] then exit 1)
 
 let analyze_cmd =
@@ -548,12 +568,13 @@ let specialize seed scale smoke export_dir journal_path resume jobs () =
               E.Specialize.run ~seed ~scale ?journal ~pool ()))
     in
     Format.printf "%a@." E.Specialize.pp t;
-    match export_dir with
+    (match export_dir with
     | None -> ()
     | Some dir ->
         List.iter
           (fun p -> Format.printf "wrote %s@." p)
-          (Ksurf.Export.specialize ~dir t)
+          (Ksurf.Export.specialize ~dir t));
+    finish_journal journal
   end
 
 let specialize_cmd =
@@ -755,7 +776,8 @@ let dose_cmd =
     with_pool jobs (fun pool ->
         timed "dose" (fun () ->
             Format.printf "%a@." E.Dose.pp
-              (E.Dose.run ~seed ~scale ?journal ~pool ())))
+              (E.Dose.run ~seed ~scale ?journal ~pool ())));
+    finish_journal journal
   in
   Cmd.v
     (Cmd.info "dose" ~doc:"Dose-response: fault-intensity sensitivity sweep")
@@ -882,12 +904,13 @@ let recover seed scale soak export_dir journal_path resume jobs () =
               E.Recover.run ~seed ~scale ?journal ~pool ()))
     in
     Format.printf "%a@." E.Recover.pp t;
-    match export_dir with
+    (match export_dir with
     | None -> ()
     | Some dir ->
         List.iter
           (fun p -> Format.printf "wrote %s@." p)
-          (Ksurf.Export.recover ~dir t)
+          (Ksurf.Export.recover ~dir t));
+    finish_journal journal
   end
 
 let recover_cmd =
@@ -1069,7 +1092,8 @@ let tenancy seed scale smoke tenants churns policies export_dir journal_path
     | Some dir ->
         List.iter
           (fun p -> Format.printf "wrote %s@." p)
-          (Ksurf.Export.tenancy ~dir t))
+          (Ksurf.Export.tenancy ~dir t));
+    finish_journal journal
   end
 
 let tenancy_cmd =
@@ -1308,7 +1332,8 @@ let drift seed scale smoke doses policies export_dir journal_path resume jobs
     | Some dir ->
         List.iter
           (fun p -> Format.printf "wrote %s@." p)
-          (Ksurf.Export.drift ~dir t))
+          (Ksurf.Export.drift ~dir t));
+    finish_journal journal
   end
 
 let drift_cmd =
@@ -1357,6 +1382,302 @@ let drift_cmd =
       const drift $ seed_arg $ scale_arg $ smoke $ doses $ policies
       $ export_dir $ journal_arg $ resume_arg $ jobs_arg $ logs_term)
 
+(* --- torture ------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_temp_dir prefix =
+  let p = Filename.temp_file prefix "" in
+  Sys.remove p;
+  Ksurf.Fileio.ensure_dir p;
+  p
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* kdur driver.  Default form sweeps (writer path x dose) torture
+   cells — ALICE-style crash-state enumeration plus live faulted runs
+   with recovery — and prints the consistency table.  [--smoke] is the
+   `make check` gate: the quick grid at 1 and 4 workers with
+   byte-compared exports and zero tolerated violations, then the same
+   durability machinery wired into a live engine workload — scenario
+   cells journalled under an armed fault plan (transients, an ENOSPC
+   window, a scheduled crash) with the full sanitizer stack (lockdep +
+   determinism + invariants) watching every engine. *)
+let torture seed scale smoke doses paths export_dir journal_path resume jobs ()
+    =
+  let module A = Ksurf.Analysis in
+  let module T = Ksurf.Torture in
+  let kinds =
+    match paths with
+    | [] -> None
+    | l ->
+        Some
+          (List.map
+             (fun p ->
+               match T.kind_of_name p with
+               | Some k -> k
+               | None ->
+                   Format.eprintf
+                     "unknown writer path %S (journal|checkpoint|export)@." p;
+                   exit 2)
+             l)
+  in
+  let doses = match doses with [] -> None | l -> Some l in
+  if smoke then begin
+    let root = fresh_temp_dir "ksurf-torture-smoke" in
+    Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+    let failures = ref [] in
+    let bad fmt =
+      Format.kasprintf (fun m -> failures := !failures @ [ m ]) fmt
+    in
+    (* 1. The quick grid, twice: every cell must hold every invariant
+       at every crash point, and both the cell results and the
+       exported bytes must be independent of the worker count. *)
+    let grid n sub =
+      Ksurf.Pool.with_pool ~jobs:n (fun pool ->
+          timed
+            (Printf.sprintf "torture grid (%d worker%s)" n
+               (if n = 1 then "" else "s"))
+            (fun () ->
+              E.Torture.run ~seed ~scale:E.Quick ?doses:(Some (Option.value ~default:[ 0.0; 1.0 ] doses))
+                ?kinds
+                ~scratch:(Filename.concat root sub)
+                ~pool ()))
+    in
+    let t1 = grid 1 "grid-j1" in
+    let t4 = grid 4 "grid-j4" in
+    Format.printf "%a@." E.Torture.pp t1;
+    List.iter
+      (fun (r : T.result) ->
+        if T.violations r <> 0 then
+          bad "%s dose %.1f: %d consistency violations" r.T.kind r.T.dose
+            (T.violations r);
+        if r.T.live_runs > 0 && r.T.recovery_ok < 1.0 then
+          bad "%s dose %.1f: live recovery %.2f < 1.0" r.T.kind r.T.dose
+            r.T.recovery_ok)
+      t1.E.Torture.cells;
+    if t1.E.Torture.cells <> t4.E.Torture.cells then
+      bad "cell results differ between 1 and 4 workers";
+    let export sub t =
+      String.concat "\x00"
+        (List.map read_file (Ksurf.Export.torture ~dir:(Filename.concat root sub) t))
+    in
+    if export "csv-j1" t1 <> export "csv-j4" t4 then
+      bad "exported CSV bytes differ between 1 and 4 workers";
+    Format.printf
+      "  grid: %d cells, %d crash states enumerated, %d torn files refused@."
+      (List.length t1.E.Torture.cells)
+      (List.fold_left (fun a (r : T.result) -> a + r.T.crash_states) 0
+         t1.E.Torture.cells)
+      (List.fold_left (fun a (r : T.result) -> a + r.T.torn_refused) 0
+         t1.E.Torture.cells);
+    (* 2. Engine integration: three varbench scenario cells, each
+       completion recorded through a Recov_journal whose host I/O runs
+       under an armed fault plan — recover from every injected death,
+       drain every deferred persist, and replay the whole thing twice
+       under the determinism checker with lockdep + invariants on the
+       first pass. *)
+    let plan =
+      {
+        Ksurf.Durplan.name = "smoke";
+        actions =
+          [
+            Ksurf.Durplan.Transient { rate = 0.4; eintr_share = 0.5 };
+            Ksurf.Durplan.Enospc_window { from_op = 4; until_op = 8 };
+            Ksurf.Durplan.Crash_at { op = 2 };
+          ];
+      }
+    in
+    let cells = [ "varbench:0"; "varbench:1"; "varbench:2" ] in
+    let findings = ref [] in
+    let static_done = ref false in
+    let replay = ref 0 in
+    let litter_swept = ref 0 in
+    let last_stats = ref None in
+    let run_once ~probe =
+      incr replay;
+      let dir = Filename.concat root (Printf.sprintf "live-%d" !replay) in
+      Ksurf.Fileio.ensure_dir dir;
+      let jpath = Filename.concat dir "cells.journal" in
+      let inj = Ksurf.Faultio.make ~root:dir ~seed plan in
+      let sanitizers = ref [] in
+      let executed = ref [] in
+      let on_engine e =
+        Ksurf.Engine.add_probe e probe;
+        if not !static_done then begin
+          let lockdep = A.Lockdep.create () in
+          let invariants = A.Invariants.create () in
+          Ksurf.Engine.add_probe e (A.Lockdep.on_event lockdep);
+          Ksurf.Engine.add_probe e (A.Invariants.on_event invariants);
+          sanitizers := (e, lockdep, invariants) :: !sanitizers
+        end
+      in
+      let attempts = ref 0 in
+      let completed = ref false in
+      while (not !completed) && !attempts < 50 do
+        incr attempts;
+        match
+          Ksurf.Faultio.with_faults inj (fun () ->
+              litter_swept := !litter_swept + Ksurf.Fileio.sweep_tmp ~dir;
+              let j = Ksurf.Recov_journal.load ~flush_every:1 ~path:jpath () in
+              List.iter
+                (fun cell ->
+                  if not (Ksurf.Recov_journal.mem j cell) then begin
+                    (* Recorded cells are never re-executed; a cell
+                       whose completion died before persisting is
+                       legitimately recomputed — here memoised so the
+                       engine event stream stays replay-identical. *)
+                    if not (List.mem cell !executed) then begin
+                      A.Scenarios.run A.Scenarios.Varbench ~seed ~on_engine;
+                      executed := cell :: !executed
+                    end;
+                    Ksurf.Recov_journal.record j cell
+                  end)
+                cells;
+              Ksurf.Recov_journal.flush j;
+              Ksurf.Recov_journal.persist_pending j)
+        with
+        | false -> completed := true
+        | true -> () (* ENOSPC deferral: space clears as ops advance *)
+        | exception Ksurf.Iohook.Crashed _ -> () (* next attempt recovers *)
+      done;
+      if not !completed then bad "replay %d: journal never converged" !replay;
+      if List.length !executed <> List.length cells then
+        bad "replay %d: %d cells executed, expected %d" !replay
+          (List.length !executed) (List.length cells);
+      let j = Ksurf.Recov_journal.load ~path:jpath () in
+      List.iter
+        (fun cell ->
+          if not (Ksurf.Recov_journal.mem j cell) then
+            bad "replay %d: cell %s lost" !replay cell)
+        cells;
+      if Ksurf.Fileio.sweep_tmp ~dir <> 0 then
+        bad "replay %d: temp litter survived recovery" !replay;
+      last_stats := Some (Ksurf.Faultio.stats inj);
+      if !sanitizers <> [] then begin
+        static_done := true;
+        List.iter
+          (fun (e, lockdep, invariants) ->
+            let drained = Ksurf.Engine.pending e = 0 in
+            findings :=
+              !findings
+              @ A.Lockdep.finish ~drained lockdep
+              @ A.Invariants.finish ~drained invariants)
+          !sanitizers
+      end
+    in
+    let det =
+      timed "torture live" (fun () ->
+          A.Determinism.check ~run:(fun ~probe -> run_once ~probe) ())
+    in
+    findings := !findings @ A.Determinism.to_findings det;
+    (match !last_stats with
+    | None -> bad "live phase never ran"
+    | Some (s : Ksurf.Faultio.stats) ->
+        if s.Ksurf.Faultio.crashes < 1 then
+          bad "scheduled crash never fired";
+        if s.Ksurf.Faultio.enospc < 1 then bad "ENOSPC window never hit";
+        if s.Ksurf.Faultio.transients < 1 then
+          bad "no transient faults injected";
+        Format.printf
+          "  live: %d ops, %d transients, %d enospc, %d crashes, %d temp \
+           file(s) swept during recovery@."
+          s.Ksurf.Faultio.ops s.Ksurf.Faultio.transients s.Ksurf.Faultio.enospc
+          s.Ksurf.Faultio.crashes !litter_swept);
+    Format.printf "  replay: %d vs %d events, hash %08x vs %08x — %s@."
+      det.A.Determinism.events_first det.A.Determinism.events_second
+      det.A.Determinism.hash_first det.A.Determinism.hash_second
+      (if A.Determinism.deterministic det then "identical" else "DIVERGENT");
+    List.iter (fun m -> Format.printf "  FAIL: %s@." m) !failures;
+    List.iter (fun f -> Format.printf "  %a@." A.Finding.pp f) !findings;
+    if !failures <> [] || !findings <> [] then exit 1;
+    Format.printf
+      "  no findings: every crash state recovers, sweeps are worker-count \
+       invariant, faulted journalling is deterministic and clean@."
+  end
+  else begin
+    let journal = journal_of journal_path resume in
+    let scratch =
+      E.Torture.default_scratch ^ "." ^ string_of_int (Unix.getpid ())
+    in
+    let t =
+      Fun.protect
+        ~finally:(fun () -> rm_rf scratch)
+        (fun () ->
+          with_pool jobs (fun pool ->
+              timed "torture" (fun () ->
+                  E.Torture.run ~seed ~scale ?doses ?kinds ~scratch ?journal
+                    ~pool ())))
+    in
+    Format.printf "%a@." E.Torture.pp t;
+    (match export_dir with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun p -> Format.printf "wrote %s@." p)
+          (Ksurf.Export.torture ~dir t));
+    finish_journal journal;
+    if E.Torture.violations t <> 0 then exit 1
+  end
+
+let torture_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Gate mode: run the quick torture grid at 1 and 4 workers \
+             (byte-compared exports, zero tolerated violations), then \
+             journal live scenario cells under an armed fault plan with \
+             lockdep, determinism and invariant checking; exit nonzero on \
+             any violation, divergence or finding.")
+  in
+  let doses =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "dose" ] ~docv:"D,..."
+          ~doc:
+            "Fault doses to sweep; dose scales the io-mixed plan's rates \
+             and ENOSPC window, 0 is the fault-free control (default: \
+             0,1,2,3).")
+  in
+  let paths =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "path" ] ~docv:"P,..."
+          ~doc:
+            "Durable writer paths to torture: $(b,journal), \
+             $(b,checkpoint), $(b,export) (default: all).")
+  in
+  let export_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:"Write torture.csv into $(docv) (study mode only).")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "kdur study: host-I/O fault injection and crash-consistency \
+          torture — writer path x dose, enumerating every crash state and \
+          recovering every live faulted run")
+    Term.(
+      const torture $ seed_arg $ scale_arg $ smoke $ doses $ paths
+      $ export_dir $ journal_arg $ resume_arg $ jobs_arg $ logs_term)
+
 let all_cmd =
   experiment_cmd "all" ~doc:"Run every experiment in sequence"
     (fun ~seed ~scale ~pool ->
@@ -1392,6 +1713,7 @@ let main_cmd =
       recover_cmd;
       tenancy_cmd;
       drift_cmd;
+      torture_cmd;
       table1_cmd;
       table2_cmd;
       fig2_cmd;

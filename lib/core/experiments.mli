@@ -434,3 +434,44 @@ module Drift : sig
 
   val pp : Format.formatter -> t -> unit
 end
+
+module Torture : sig
+  type cell = Ksurf_dur.Torture.result
+
+  type t = { cells : cell list }
+
+  val default_doses : float list
+  (** [0; 1; 2; 3] — dose 0 is the fault-free control. *)
+
+  val default_kinds : Ksurf_dur.Torture.kind list
+  (** journal, checkpoint, export — every durable writer path. *)
+
+  val default_scratch : string
+  (** [$TMPDIR/ksurf-torture]; pass a private [scratch] when several
+      torture processes may run concurrently. *)
+
+  val cell_config :
+    seed:int -> scale:scale -> scratch:string ->
+    kind:Ksurf_dur.Torture.kind -> dose:float -> Ksurf_dur.Torture.config
+  (** The per-cell harness shape: [scale] sets the live-run budget
+      (enumeration covers every crash point at either scale). *)
+
+  val run :
+    ?seed:int -> ?scale:scale -> ?doses:float list ->
+    ?kinds:Ksurf_dur.Torture.kind list -> ?scratch:string ->
+    ?journal:Ksurf_recov.Journal.t -> ?pool:Ksurf_par.Pool.t -> unit -> t
+  (** One {!Ksurf_dur.Torture} cell per (kind x dose) through the kpar
+      sweep.  With [journal], cells already recorded (keys
+      [torture:<kind>:<dose>]) are skipped and omitted from the
+      result. *)
+
+  val cell_key : Ksurf_dur.Torture.kind * float -> string
+  (** Journal key for one sweep cell: [torture:<kind>:<dose>]. *)
+
+  val cell : t -> kind:string -> dose:float -> cell option
+
+  val violations : t -> int
+  (** Total consistency violations across all cells; 0 required. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -13,7 +13,12 @@ let bucket_cells (r : Buckets.row) =
     [ r.Buckets.le_1us; r.Buckets.le_10us; r.Buckets.le_100us;
       r.Buckets.le_1ms; r.Buckets.le_10ms; r.Buckets.gt_10ms ]
 
-let path dir name = Filename.concat dir name
+(* Every export creates (and fsyncs) its target directory on first
+   use, so `--export fresh/dir` just works and the new entry survives
+   a crash. *)
+let path dir name =
+  Ksurf_util.Fileio.ensure_dir dir;
+  Filename.concat dir name
 
 let bucket_table ~dir ~file ~label_name rows =
   let p = path dir file in
@@ -322,4 +327,43 @@ let drift ~dir (t : E.Drift.t) =
              Printf.sprintf "%.6f" c.D.p95_divergence;
            ])
          t.E.Drift.cells);
+  [ p ]
+
+let torture ~dir (t : E.Torture.t) =
+  let p = path dir "torture.csv" in
+  Csv.write ~path:p
+    ~header:
+      [ "path"; "dose"; "trace_ops"; "crash_points"; "crash_states";
+        "enum_violations"; "torn_refused"; "live_runs"; "live_ok";
+        "recovery_ok"; "crashes"; "transients"; "enospc"; "eio";
+        "torn_writes"; "fsync_dropped"; "deferred_persists"; "cells_lost";
+        "double_runs"; "litter"; "litter_after" ]
+    ~rows:
+      (List.map
+         (fun (c : E.Torture.cell) ->
+           let module T = Ksurf_dur.Torture in
+           [
+             c.T.kind;
+             Printf.sprintf "%.2f" c.T.dose;
+             string_of_int c.T.trace_ops;
+             string_of_int c.T.crash_points;
+             string_of_int c.T.crash_states;
+             string_of_int c.T.enum_violations;
+             string_of_int c.T.torn_refused;
+             string_of_int c.T.live_runs;
+             string_of_int c.T.live_ok;
+             Printf.sprintf "%.4f" c.T.recovery_ok;
+             string_of_int c.T.crashes;
+             string_of_int c.T.transients;
+             string_of_int c.T.enospc;
+             string_of_int c.T.eio;
+             string_of_int c.T.torn_writes;
+             string_of_int c.T.fsync_dropped;
+             string_of_int c.T.deferred_persists;
+             string_of_int c.T.cells_lost;
+             string_of_int c.T.double_runs;
+             string_of_int c.T.litter;
+             string_of_int c.T.litter_after;
+           ])
+         t.E.Torture.cells);
   [ p ]

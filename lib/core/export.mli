@@ -38,3 +38,9 @@ val drift : dir:string -> Experiments.Drift.t -> string list
 (** One row per (policy, dose) cell of the kadapt drift study:
     false-positive ENOSYS rate, retained surface area, reconvergence
     time, and the promotion / demotion / swap / drift counters. *)
+
+val torture : dir:string -> Experiments.Torture.t -> string list
+(** One row per (writer path, dose) torture cell: crash-state
+    enumeration counts and violations, torn-state refusals, live
+    recovery rate, and the injected-fault / deferred-persist / litter
+    counters. *)

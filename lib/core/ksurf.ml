@@ -107,6 +107,12 @@ module Fault_plan = Ksurf_fault.Plan
 module Kfault = Ksurf_fault.Kfault
 
 module Fileio = Ksurf_util.Fileio
+module Iohook = Ksurf_util.Iohook
+module Durplan = Ksurf_dur.Durplan
+module Faultio = Ksurf_dur.Faultio
+module Crashsim = Ksurf_dur.Crashsim
+module Torture = Ksurf_dur.Torture
+
 module Detector = Ksurf_recov.Detector
 module Checkpoint = Ksurf_recov.Checkpoint
 module Recov_journal = Ksurf_recov.Journal

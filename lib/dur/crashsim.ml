@@ -1,0 +1,288 @@
+(* ALICE-style crash-state enumeration.
+
+   A writer run is recorded as its op trace; each crash-point prefix
+   is then replayed against a tiny filesystem model that keeps two
+   views per object: the volatile one (op applied) and the durable one
+   (op guaranteed).  File data becomes durable at a file fsync —
+   tracked by inode identity, so data synced into a temp file stays
+   durable through the rename.  Directory entries (creates, renames,
+   removes) become durable at an fsync of their parent directory,
+   which is exactly the guarantee write_atomic's post-rename directory
+   fsync buys: without it, the durable view of a "completed" write
+   still shows the old version.
+
+   Per prefix we emit three representative crash states rather than
+   the full reordering lattice: durable-min (only guarantees survive —
+   zero-length un-synced files, forgotten renames), torn (entries
+   applied, in-flight data cut mid-write), and all-applied (a friendly
+   disk).  These three bracket the states real filesystems leave and
+   already indict every bug the enumerator is after: the old
+   un-fsynced-rename gap shows up in durable-min, torn-write
+   acceptance in torn, temp-file litter in all-applied. *)
+
+module Iohook = Ksurf_util.Iohook
+module Fileio = Ksurf_util.Fileio
+module Stable_hash = Ksurf_util.Stable_hash
+
+type state = { files : (string * string) list }
+
+(* --- recording --------------------------------------------------------- *)
+
+let strip_root ~root path =
+  if path = root then Some "."
+  else
+    let n = String.length root and m = String.length path in
+    if m > n + 1 && String.sub path 0 n = root && path.[n] = '/' then
+      Some (String.sub path (n + 1) (m - n - 1))
+    else None
+
+let record ~root f =
+  let ops = ref [] in
+  let push op = ops := op :: !ops in
+  let strip = strip_root ~root in
+  let handler (op : Iohook.op) : Iohook.outcome =
+    (match op with
+    | Iohook.Open { path } ->
+        Option.iter (fun path -> push (Iohook.Open { path })) (strip path)
+    | Iohook.Write { path; content } ->
+        Option.iter
+          (fun path -> push (Iohook.Write { path; content }))
+          (strip path)
+    | Iohook.Fsync { path } ->
+        Option.iter (fun path -> push (Iohook.Fsync { path })) (strip path)
+    | Iohook.Fsync_dir { path } ->
+        Option.iter (fun path -> push (Iohook.Fsync_dir { path })) (strip path)
+    | Iohook.Rename { src; dst } -> (
+        match (strip src, strip dst) with
+        | Some src, Some dst -> push (Iohook.Rename { src; dst })
+        | _ -> ())
+    | Iohook.Remove { path } ->
+        Option.iter (fun path -> push (Iohook.Remove { path })) (strip path)
+    | Iohook.Read { path } ->
+        Option.iter (fun path -> push (Iohook.Read { path })) (strip path)
+    | Iohook.Mkdir { path } ->
+        Option.iter (fun path -> push (Iohook.Mkdir { path })) (strip path));
+    Iohook.Proceed
+  in
+  let result =
+    match Iohook.with_handler handler f with
+    | v -> Ok v
+    | exception e -> Error e
+  in
+  (result, List.rev !ops)
+
+(* --- the filesystem model ---------------------------------------------- *)
+
+module SM = Map.Make (String)
+module IM = Map.Make (Int)
+
+type sim = {
+  next_id : int;
+  vol : int SM.t;  (* entry path -> inode, volatile view *)
+  dur : int SM.t;  (* entry path -> inode, durable view *)
+  vol_dirs : unit SM.t;  (* directories created during the trace *)
+  dur_dirs : unit SM.t;
+  content : string IM.t;  (* inode -> volatile content *)
+  synced : string IM.t;  (* inode -> last fsynced content *)
+}
+
+let empty_sim =
+  {
+    next_id = 0;
+    vol = SM.empty;
+    dur = SM.empty;
+    vol_dirs = SM.empty;
+    dur_dirs = SM.empty;
+    content = IM.empty;
+    synced = IM.empty;
+  }
+
+let apply sim (op : Iohook.op) =
+  match op with
+  | Iohook.Open { path } ->
+      let id = sim.next_id in
+      {
+        sim with
+        next_id = id + 1;
+        vol = SM.add path id sim.vol;
+        content = IM.add id "" sim.content;
+      }
+  | Iohook.Write { path; content } -> (
+      match SM.find_opt path sim.vol with
+      | Some id -> { sim with content = IM.add id content sim.content }
+      | None -> sim)
+  | Iohook.Fsync { path } -> (
+      match SM.find_opt path sim.vol with
+      | Some id ->
+          let c = Option.value ~default:"" (IM.find_opt id sim.content) in
+          { sim with synced = IM.add id c sim.synced }
+      | None -> sim)
+  | Iohook.Fsync_dir { path = d } ->
+      (* The durable view of directory [d] snaps to the volatile one:
+         child entries (and child directories) created, renamed in, or
+         removed since the last sync all become guaranteed at once. *)
+      let child p = Filename.dirname p = d in
+      let merge keep extra =
+        SM.union (fun _ v _ -> Some v) (SM.filter (fun p _ -> child p) extra)
+          (SM.filter (fun p _ -> not (child p)) keep)
+      in
+      {
+        sim with
+        dur = merge sim.dur sim.vol;
+        dur_dirs = merge sim.dur_dirs sim.vol_dirs;
+      }
+  | Iohook.Rename { src; dst } -> (
+      match SM.find_opt src sim.vol with
+      | Some id -> { sim with vol = SM.add dst id (SM.remove src sim.vol) }
+      | None -> sim)
+  | Iohook.Remove { path } -> { sim with vol = SM.remove path sim.vol }
+  | Iohook.Mkdir { path } -> { sim with vol_dirs = SM.add path () sim.vol_dirs }
+  | Iohook.Read _ -> sim
+
+(* --- crash-state flavours ---------------------------------------------- *)
+
+let sort_files l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+(* The torture root pre-exists (and is durable); only directories
+   created during the trace need their own entry synced. *)
+let rec dir_durable sim d =
+  d = "." || d = "" || d = "/"
+  || (SM.mem d sim.dur_dirs && dir_durable sim (Filename.dirname d))
+
+let durable_min sim =
+  let files =
+    SM.fold
+      (fun path id acc ->
+        if dir_durable sim (Filename.dirname path) then
+          (* Entry guaranteed; data only up to its last fsync — a file
+             whose bytes were never synced survives as zero-length. *)
+          (path, Option.value ~default:"" (IM.find_opt id sim.synced)) :: acc
+        else acc)
+      sim.dur []
+  in
+  { files = sort_files files }
+
+let torn sim =
+  let files =
+    SM.fold
+      (fun path id acc ->
+        let vol_c = Option.value ~default:"" (IM.find_opt id sim.content) in
+        let c =
+          match IM.find_opt id sim.synced with
+          | Some s when s = vol_c -> vol_c
+          | _ -> String.sub vol_c 0 (String.length vol_c / 2)
+        in
+        (path, c) :: acc)
+      sim.vol []
+  in
+  { files = sort_files files }
+
+let all_applied sim =
+  let files =
+    SM.fold
+      (fun path id acc ->
+        (path, Option.value ~default:"" (IM.find_opt id sim.content)) :: acc)
+      sim.vol []
+  in
+  { files = sort_files files }
+
+(* --- dedup ------------------------------------------------------------- *)
+
+(* Temp-file names embed pid + sequence numbers, which vary across
+   processes and job counts; canonicalise them by (directory, content)
+   so state identity — and therefore enumeration counts — is invariant
+   under temp naming.  Same-content temp twins are interchangeable, so
+   the disambiguating index is canonical whatever order they appear. *)
+let canonical st =
+  let dup = Hashtbl.create 4 in
+  st.files
+  |> List.map (fun (p, c) ->
+         let name =
+           if Fileio.is_tmp_name (Filename.basename p) then begin
+             let key =
+               Printf.sprintf "%s/.tmp-%x" (Filename.dirname p)
+                 (Stable_hash.string c)
+             in
+             let n = try Hashtbl.find dup key with Not_found -> 0 in
+             Hashtbl.replace dup key (n + 1);
+             Printf.sprintf "%s#%d" key n
+           end
+           else p
+         in
+         name ^ "\x00" ^ c)
+  |> List.sort String.compare
+  |> String.concat "\x01"
+
+let crash_points ops = List.length ops + 1
+
+let enumerate ops =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let add k st =
+    let key = canonical st in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := (k, st) :: !out
+    end
+  in
+  let sim = ref empty_sim in
+  add 0 (durable_min !sim);
+  List.iteri
+    (fun i op ->
+      sim := apply !sim op;
+      let k = i + 1 in
+      add k (durable_min !sim);
+      add k (torn !sim);
+      add k (all_applied !sim))
+    ops;
+  List.rev !out
+
+let final_durable ops = durable_min (List.fold_left apply empty_sim ops)
+
+(* --- materialisation --------------------------------------------------- *)
+
+let rec rm_tree path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter
+        (fun entry -> rm_tree (Filename.concat path entry))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" then ()
+  else
+    match Unix.mkdir d 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+        mkdir_p (Filename.dirname d);
+        Unix.mkdir d 0o755
+
+(* Writing a crashed disk image must place raw, possibly-torn bytes at
+   exact paths — going through the atomic writer under test would
+   defeat the point (and pollute any ambient op trace). *)
+let write_raw path content =
+  let flags = [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] in
+  (* klint: allow — a crashed disk image is raw, torn bytes by design *)
+  let fd = Unix.openfile path flags 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length content in
+      let rec go off =
+        if off < n then go (off + Unix.write_substring fd content off (n - off))
+      in
+      go 0)
+
+let materialize ~dir st =
+  rm_tree dir;
+  mkdir_p dir;
+  List.iter
+    (fun (p, c) ->
+      let path = Filename.concat dir p in
+      mkdir_p (Filename.dirname path);
+      write_raw path c)
+    st.files

@@ -1,0 +1,172 @@
+(* Durplan -> Iohook handler.
+
+   The plan is folded into one flat configuration (rates summed and
+   clamped, crash ops sorted), then each in-scope op consults the
+   mechanisms in severity order: scheduled crash, ENOSPC window,
+   torn write, dropped fsync, hard EIO, transient.  Each mechanism
+   draws from its own Prng.split stream so adding, say, a torn-write
+   action to a plan never perturbs which ops the transient stream
+   hits — plans compose without reshuffling each other's faults. *)
+
+module Iohook = Ksurf_util.Iohook
+module Prng = Ksurf_util.Prng
+
+type stats = {
+  ops : int;
+  transients : int;
+  enospc : int;
+  eio : int;
+  torn : int;
+  fsync_dropped : int;
+  crashes : int;
+}
+
+type t = {
+  root : string;
+  transient_rate : float;
+  eintr_share : float;
+  enospc_windows : (int * int) list;
+  eio_rate : float;
+  torn_rate : float;
+  torn_keep : float;
+  fsync_drop_rate : float;
+  mutable crash_ops : int list;  (* sorted; each fires once *)
+  p_transient : Prng.t;
+  p_errno : Prng.t;
+  p_eio : Prng.t;
+  p_torn : Prng.t;
+  p_fsync : Prng.t;
+  mutable op_index : int;
+  mutable n_transients : int;
+  mutable n_enospc : int;
+  mutable n_eio : int;
+  mutable n_torn : int;
+  mutable n_fsync_dropped : int;
+  mutable n_crashes : int;
+}
+
+let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let make ~root ~seed (plan : Durplan.t) =
+  let base = Prng.create seed in
+  let transient_rate = ref 0.0
+  and eintr_share = ref 0.5
+  and enospc_windows = ref []
+  and eio_rate = ref 0.0
+  and torn_rate = ref 0.0
+  and torn_keep = ref 0.5
+  and fsync_drop_rate = ref 0.0
+  and crash_ops = ref [] in
+  List.iter
+    (function
+      | Durplan.Transient { rate; eintr_share = share } ->
+          transient_rate := !transient_rate +. rate;
+          eintr_share := share
+      | Durplan.Enospc_window { from_op; until_op } ->
+          enospc_windows := (from_op, until_op) :: !enospc_windows
+      | Durplan.Hard_eio { rate } -> eio_rate := !eio_rate +. rate
+      | Durplan.Torn_write { rate; keep } ->
+          torn_rate := !torn_rate +. rate;
+          torn_keep := keep
+      | Durplan.Fsync_drop { rate } ->
+          fsync_drop_rate := !fsync_drop_rate +. rate
+      | Durplan.Crash_at { op } -> crash_ops := op :: !crash_ops)
+    plan.Durplan.actions;
+  {
+    root;
+    transient_rate = clamp01 !transient_rate;
+    eintr_share = clamp01 !eintr_share;
+    enospc_windows = List.rev !enospc_windows;
+    eio_rate = clamp01 !eio_rate;
+    torn_rate = clamp01 !torn_rate;
+    torn_keep = clamp01 !torn_keep;
+    fsync_drop_rate = clamp01 !fsync_drop_rate;
+    crash_ops = List.sort_uniq Int.compare !crash_ops;
+    p_transient = Prng.split base "io-transient";
+    p_errno = Prng.split base "io-errno";
+    p_eio = Prng.split base "io-eio";
+    p_torn = Prng.split base "io-torn";
+    p_fsync = Prng.split base "io-fsync";
+    op_index = 0;
+    n_transients = 0;
+    n_enospc = 0;
+    n_eio = 0;
+    n_torn = 0;
+    n_fsync_dropped = 0;
+    n_crashes = 0;
+  }
+
+let in_scope t path =
+  let root = t.root and n = String.length path in
+  let m = String.length root in
+  m = 0 || (n >= m && String.sub path 0 m = root)
+
+let space_consuming (op : Iohook.op) =
+  match op with
+  | Iohook.Open _ | Iohook.Write _ | Iohook.Rename _ | Iohook.Mkdir _ -> true
+  | Iohook.Fsync _ | Iohook.Fsync_dir _ | Iohook.Remove _ | Iohook.Read _ ->
+      false
+
+let decide t (op : Iohook.op) : Iohook.outcome =
+  if not (in_scope t (Iohook.path_of op)) then Iohook.Proceed
+  else begin
+    let i = t.op_index in
+    t.op_index <- i + 1;
+    match t.crash_ops with
+    | at :: rest when i >= at ->
+        t.crash_ops <- rest;
+        t.n_crashes <- t.n_crashes + 1;
+        Iohook.Crash
+    | _ ->
+        if
+          space_consuming op
+          && List.exists (fun (a, b) -> i >= a && i < b) t.enospc_windows
+        then begin
+          t.n_enospc <- t.n_enospc + 1;
+          Iohook.Fail Unix.ENOSPC
+        end
+        else
+          let is_write =
+            match op with Iohook.Write _ -> true | _ -> false
+          in
+          let is_fsync =
+            match op with
+            | Iohook.Fsync _ | Iohook.Fsync_dir _ -> true
+            | _ -> false
+          in
+          if is_write && Prng.chance t.p_torn t.torn_rate then begin
+            t.n_torn <- t.n_torn + 1;
+            Iohook.Torn t.torn_keep
+          end
+          else if is_fsync && Prng.chance t.p_fsync t.fsync_drop_rate then begin
+            t.n_fsync_dropped <- t.n_fsync_dropped + 1;
+            Iohook.Drop
+          end
+          else if Prng.chance t.p_eio t.eio_rate then begin
+            t.n_eio <- t.n_eio + 1;
+            Iohook.Fail Unix.EIO
+          end
+          else if Prng.chance t.p_transient t.transient_rate then begin
+            t.n_transients <- t.n_transients + 1;
+            if Prng.chance t.p_errno t.eintr_share then Iohook.Fail Unix.EINTR
+            else Iohook.Fail Unix.EAGAIN
+          end
+          else Iohook.Proceed
+  end
+
+let handler t = decide t
+
+let with_faults t f = Iohook.with_handler (decide t) f
+
+let stats t =
+  {
+    ops = t.op_index;
+    transients = t.n_transients;
+    enospc = t.n_enospc;
+    eio = t.n_eio;
+    torn = t.n_torn;
+    fsync_dropped = t.n_fsync_dropped;
+    crashes = t.n_crashes;
+  }
+
+let op_index t = t.op_index

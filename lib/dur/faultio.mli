@@ -1,0 +1,38 @@
+(** Compile a {!Durplan} into a deterministic host-I/O fault handler.
+
+    [make ~root ~seed plan] yields an injector whose handler perturbs
+    only operations on paths under [root] — everything else (the outer
+    sweep's own journal, exports from other cells) proceeds untouched
+    and does not advance the op index.  Decisions are driven by
+    {!Ksurf_util.Prng} streams split per mechanism, so the same
+    [(plan, seed, workload)] triple always injects the same faults —
+    the kfault determinism discipline at the I/O boundary.
+
+    The injector is stateful (op index, one-shot crash schedule,
+    counters) and survives across {!with_faults} scopes: a torture
+    cell re-enters it for each recovery attempt, so an ENOSPC window
+    opened during the original run eventually clears as recovery
+    retries push the op index past it. *)
+
+type t
+
+type stats = {
+  ops : int;  (** in-scope operations consulted *)
+  transients : int;  (** injected EINTR/EAGAIN *)
+  enospc : int;  (** injected ENOSPC (window) *)
+  eio : int;  (** injected hard EIO *)
+  torn : int;  (** torn writes (each also crashes) *)
+  fsync_dropped : int;  (** silently-dropped fsyncs *)
+  crashes : int;  (** crash-at-op firings *)
+}
+
+val make : root:string -> seed:int -> Durplan.t -> t
+
+val handler : t -> Ksurf_util.Iohook.handler
+
+val with_faults : t -> (unit -> 'a) -> 'a
+(** Run the callback with this injector installed as the domain's
+    I/O hook (restoring the previous hook afterwards). *)
+
+val stats : t -> stats
+val op_index : t -> int

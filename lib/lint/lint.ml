@@ -11,9 +11,12 @@
      (Domain.DLS), mutex-guarded in the same binding, or explicitly
      annotated [(* klint: allow *)] with a reason.
 
-   - [Raw_open_out]: any direct [open_out] family call.  Result files
-     must go through [Fileio.write_atomic] so an interrupted run
-     leaves the previous complete file, never a truncated one.
+   - [Raw_open_out]: any direct [open_out] family call, plus
+     [Unix.openfile] and [Sys.rename].  Durable writes must go through
+     [Fileio.write_atomic] so an interrupted run leaves the previous
+     complete file (never a truncated one), the rename is fsynced into
+     its directory, and the kdur I/O hook sees — and can fault — every
+     operation.
 
    The parser drops comments, so allow-annotations are recognised
    textually: a finding is suppressed when its line or the line above
@@ -152,9 +155,35 @@ and mutable_state_of_module ~file ~allowed (me : Parsetree.module_expr) =
   | Parsetree.Pmod_constraint (me, _) -> mutable_state_of_module ~file ~allowed me
   | _ -> []
 
-(* --- raw open_out check ------------------------------------------------ *)
+(* --- raw durable-I/O check --------------------------------------------- *)
 
-let open_out_names = [ "open_out"; "open_out_bin"; "open_out_gen" ]
+(* Writer primitives that bypass Fileio's crash-consistency protocol.
+   open_out leaves truncated files; Unix.openfile dodges the I/O hook
+   (so torture cells cannot see or fault the op); Sys.rename without
+   the temp + fsync + dir-fsync dance is neither atomic-with-content
+   nor durable. *)
+let raw_io_names =
+  [
+    ("open_out", "raw-open-out");
+    ("open_out_bin", "raw-open-out");
+    ("open_out_gen", "raw-open-out");
+    ("Unix.openfile", "raw-openfile");
+    ("Sys.rename", "raw-rename");
+  ]
+
+let raw_io_message name =
+  match name with
+  | "Sys.rename" ->
+      "direct Sys.rename bypasses Fileio's temp + fsync + dir-fsync \
+       protocol; the rename is invisible to the I/O hook and not durable"
+  | "Unix.openfile" ->
+      "direct Unix.openfile bypasses Fileio and the I/O hook; durable \
+       writes must go through Fileio.write_atomic"
+  | _ ->
+      Printf.sprintf
+        "direct %s bypasses Fileio.write_atomic; a crash mid-write leaves a \
+         truncated result file"
+        name
 
 let raw_open_out ~file ~allowed (str : Parsetree.structure) =
   let acc = ref [] in
@@ -165,19 +194,16 @@ let raw_open_out ~file ~allowed (str : Parsetree.structure) =
         (fun self e ->
           (match e.Parsetree.pexp_desc with
           | Parsetree.Pexp_ident { txt; _ }
-            when List.mem (ident_string txt) open_out_names ->
+            when List.mem_assoc (ident_string txt) raw_io_names ->
+              let name = ident_string txt in
               let line = line_of e.Parsetree.pexp_loc in
               if not (Hashtbl.mem allowed line) then
                 acc :=
                   {
                     file;
                     line;
-                    code = "raw-open-out";
-                    message =
-                      Printf.sprintf
-                        "direct %s bypasses Fileio.write_atomic; a crash \
-                         mid-write leaves a truncated result file"
-                        (ident_string txt);
+                    code = List.assoc name raw_io_names;
+                    message = raw_io_message name;
                   }
                   :: !acc
           | _ -> ());

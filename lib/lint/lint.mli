@@ -9,8 +9,10 @@
     inside a [fun] body do not count: they are fresh per call.
 
     [Raw_open_out] flags any direct [open_out]/[open_out_bin]/
-    [open_out_gen] use; result files must go through
-    [Ksurf_util.Fileio.write_atomic]. *)
+    [open_out_gen] use ([raw-open-out]), plus [Unix.openfile]
+    ([raw-openfile]) and [Sys.rename] ([raw-rename]) on durable
+    paths; such writes must go through [Ksurf_util.Fileio] so they
+    are crash-consistent and visible to the kdur I/O hook. *)
 
 type check = Mutable_state | Raw_open_out
 

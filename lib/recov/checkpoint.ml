@@ -101,6 +101,7 @@ let checksum lines = Stable_hash.string (String.concat "\n" lines)
 
 let write ~path st =
   let payload = payload_lines st in
+  Fileio.ensure_dir (Filename.dirname path);
   Fileio.write_atomic ~path (fun oc ->
       Printf.fprintf oc "%s v%d\n" magic version;
       Printf.fprintf oc "checksum %x\n" (checksum payload);

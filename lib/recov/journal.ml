@@ -34,6 +34,8 @@ type t = {
   mutable cells_rev : string list;
   mutable unflushed : int;  (* recorded since the last persist *)
   flush_every : int;
+  mutable deferred : int;  (* persist attempts that failed with Io_error *)
+  mutable last_error : string option;
 }
 
 let path t = t.path
@@ -78,6 +80,8 @@ let make ?(flush_every = default_flush_every) ~path cells =
     cells_rev = List.rev cells;
     unflushed = 0;
     flush_every = max 1 flush_every;
+    deferred = 0;
+    last_error = None;
   }
 
 let load ?flush_every ~path () =
@@ -92,21 +96,53 @@ let load ?flush_every ~path () =
            garbage; the next persist overwrites it. *)
         make ?flush_every ~path []
 
-(* Caller holds [t.lock]. *)
+(* Caller holds [t.lock].  An [Io_error] (disk full, directory gone)
+   does NOT abort the sweep: the cells stay buffered in memory, the
+   failure is counted as deferred, and every subsequent [record] (and
+   the final [flush]) retries the persist — so when space clears the
+   journal catches up, and when it never does the completed work is
+   still returned to the caller, which reports a stamped degraded
+   result instead of losing it.  A simulated crash (Iohook.Crashed) is
+   not an I/O error and still propagates. *)
 let persist_locked t =
-  Fileio.write_atomic ~path:t.path (fun oc ->
-      output_string oc (magic ^ "\n");
-      List.iter
-        (fun key ->
-          Printf.fprintf oc "cell %x %s\n" (Stable_hash.string key) key)
-        (List.rev t.cells_rev));
-  t.unflushed <- 0
+  match
+    Fileio.write_atomic ~path:t.path (fun oc ->
+        output_string oc (magic ^ "\n");
+        List.iter
+          (fun key ->
+            Printf.fprintf oc "cell %x %s\n" (Stable_hash.string key) key)
+          (List.rev t.cells_rev))
+  with
+  | () ->
+      t.unflushed <- 0;
+      t.last_error <- None
+  | exception Fileio.Io_error msg ->
+      t.deferred <- t.deferred + 1;
+      t.last_error <- Some msg
 
 let flush t =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () -> if t.unflushed > 0 then persist_locked t)
+
+let persist_pending t =
+  Mutex.lock t.lock;
+  let pending = t.unflushed > 0 in
+  Mutex.unlock t.lock;
+  pending
+
+let deferred t =
+  Mutex.lock t.lock;
+  let n = t.deferred in
+  Mutex.unlock t.lock;
+  n
+
+let last_error t =
+  Mutex.lock t.lock;
+  let e = t.last_error in
+  Mutex.unlock t.lock;
+  e
 
 let record t key =
   Mutex.lock t.lock;

@@ -36,7 +36,26 @@ val record : t -> string -> unit
 val flush : t -> unit
 (** Persist any recorded-but-unwritten cells now.  No-op when clean.
     Sweeps call this when they finish (and periodically mid-sweep via
-    the batch threshold). *)
+    the batch threshold).
+
+    Neither {!record} nor {!flush} raises on file-system trouble: a
+    failed persist (ENOSPC, directory gone) keeps the cells buffered in
+    memory and is retried by every subsequent persist attempt — the
+    sweep keeps computing and no completed cell is ever lost to a full
+    disk.  Check {!persist_pending} after the final flush: if it is
+    still true the caller should report a degraded result (the CLI
+    exits 3). *)
+
+val persist_pending : t -> bool
+(** Are there recorded cells not yet safely on disk?  True after a
+    persist failure until a retry succeeds. *)
+
+val deferred : t -> int
+(** How many persist attempts failed (and were deferred) so far. *)
+
+val last_error : t -> string option
+(** The most recent persist failure, if the journal is still dirty
+    because of one. *)
 
 val mem : t -> string -> bool
 (** Has this cell already completed? *)

@@ -7,9 +7,19 @@ exception Io_error of string
    or the new complete file — never a prefix.  The fsync before the
    rename matters: without it the rename can reach disk before the
    data, and a crash then leaves a complete-looking file full of
-   zeroes.  ENOSPC, EACCES and friends surface as [Io_error] with the
-   path, so callers can map them to a distinct exit code instead of
-   leaving a truncated file behind.
+   zeroes.  The directory fsync after the rename matters just as much:
+   the rename is a directory-entry update, and until the directory is
+   synced a crash can forget the rename itself, resurrecting the old
+   version after the writer reported success.  ENOSPC, EACCES and
+   friends surface as [Io_error] with the path, so callers can map
+   them to a distinct exit code instead of leaving a truncated file
+   behind.
+
+   Every host I/O primitive consults {!Iohook} first, so the kdur
+   torture harness can observe the exact op stream and inject typed
+   faults.  Transient errno ([EINTR]/[EAGAIN]) — real or injected —
+   is absorbed by a bounded retry with exponential backoff; each retry
+   re-consults the hook, which is how a transient fault plan clears.
 
    The temp name carries the pid plus a process-local counter:
    concurrent writers to the same destination (parallel sweep workers,
@@ -23,17 +33,83 @@ let tmp_name path =
   Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
     (Atomic.fetch_and_add tmp_seq 1)
 
+let tmp_infix = ".tmp."
+
+let is_tmp_name name =
+  let n = String.length name and m = String.length tmp_infix in
+  let rec at i = i + m <= n && (String.sub name i m = tmp_infix || at (i + 1)) in
+  at 0
+
 let io_error ~path msg =
   Io_error (Printf.sprintf "cannot write %s: %s" path msg)
+
+(* --- transient retry --------------------------------------------------- *)
+
+let max_transient_attempts = 16
+
+let transient_retries_counter = Atomic.make 0
+
+let transient_retries () = Atomic.get transient_retries_counter
+
+let backoff attempt =
+  (* 1us doubling to a 1ms cap: sub-20ms worst case over a full retry
+     budget, enough to let a real transient condition pass. *)
+  Unix.sleepf (Float.min 1e-3 (1e-6 *. Float.of_int (1 lsl Int.min attempt 10)))
+
+let retrying f =
+  let rec go attempt =
+    try f () with
+    | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _)
+      when attempt < max_transient_attempts ->
+        Atomic.incr transient_retries_counter;
+        backoff attempt;
+        go (attempt + 1)
+  in
+  go 0
+
+(* Consult the ambient hook; injected failures become Unix_error so the
+   retry/Io_error machinery treats them exactly like real ones. *)
+let consult op =
+  match Iohook.consult op with
+  | Iohook.Fail e -> raise (Unix.Unix_error (e, "ksurf-injected", Iohook.path_of op))
+  | verdict -> verdict
+
+(* Directory-entry durability.  Injected faults surface (and retry)
+   like any other op; errors from the real fsync are swallowed because
+   some filesystems refuse fsync on a directory fd (EINVAL) and there
+   is nothing useful a caller can do about it. *)
+let fsync_dir dir =
+  retrying (fun () ->
+      match consult (Iohook.Fsync_dir { path = dir }) with
+      | Iohook.Drop -> ()
+      | _ -> (
+          match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+          | exception Unix.Unix_error _ -> ()
+          | fd ->
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())))
+
+let read_all_raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let write_atomic ~path f =
   let tmp = tmp_name path in
   let remove_tmp () = try Sys.remove tmp with Sys_error _ -> () in
+  (* Iohook.Crashed deliberately escapes without remove_tmp: it
+     simulates process death, and a dead process cleans nothing up —
+     that litter is exactly what recovery must sweep. *)
   (try
      let fd =
-       Unix.openfile tmp
-         [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
-         0o644
+       retrying (fun () ->
+           ignore (consult (Iohook.Open { path = tmp }));
+           Unix.openfile tmp
+             [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+             0o644)
      in
      let oc = Unix.out_channel_of_descr fd in
      Fun.protect
@@ -41,7 +117,30 @@ let write_atomic ~path f =
        (fun () ->
          f oc;
          flush oc;
-         Unix.fsync fd)
+         if Iohook.active () then begin
+           (* Only under a hook: read the bytes back so the handler
+              sees the full content (to tear it, or to record it for
+              crash-state enumeration). *)
+           let content = read_all_raw tmp in
+           let len = String.length content in
+           retrying (fun () ->
+               match consult (Iohook.Write { path = tmp; content }) with
+               | Iohook.Torn keep ->
+                   let keep_n =
+                     Int.max 0
+                       (Int.min len (int_of_float (keep *. float_of_int len)))
+                   in
+                   Unix.ftruncate fd keep_n;
+                   raise
+                     (Iohook.Crashed
+                        (Printf.sprintf "torn write %s (%d/%d bytes)" tmp
+                           keep_n len))
+               | _ -> ())
+         end;
+         retrying (fun () ->
+             match consult (Iohook.Fsync { path = tmp }) with
+             | Iohook.Drop -> () (* silently-dropped fsync *)
+             | _ -> Unix.fsync fd))
    with
   | Sys_error msg ->
       remove_tmp ();
@@ -49,22 +148,91 @@ let write_atomic ~path f =
   | Unix.Unix_error (e, _, _) ->
       remove_tmp ();
       raise (io_error ~path (Unix.error_message e)));
-  try Sys.rename tmp path
-  with Sys_error msg ->
-    remove_tmp ();
-    raise (Io_error (Printf.sprintf "cannot replace %s: %s" path msg))
+  try
+    retrying (fun () ->
+        ignore (consult (Iohook.Rename { src = tmp; dst = path }));
+        Sys.rename tmp path);
+    fsync_dir (Filename.dirname path)
+  with
+  | Sys_error msg ->
+      remove_tmp ();
+      raise (Io_error (Printf.sprintf "cannot replace %s: %s" path msg))
+  | Unix.Unix_error (e, _, _) ->
+      remove_tmp ();
+      raise
+        (Io_error
+           (Printf.sprintf "cannot replace %s: %s" path (Unix.error_message e)))
+
+let rec ensure_dir dir =
+  if dir = "" || dir = "." || dir = "/" then ()
+  else
+    match (Unix.stat dir).Unix.st_kind with
+    | Unix.S_DIR -> ()
+    | _ -> raise (Io_error (dir ^ ": exists but is not a directory"))
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> (
+        ensure_dir (Filename.dirname dir);
+        try
+          retrying (fun () ->
+              ignore (consult (Iohook.Mkdir { path = dir }));
+              try Unix.mkdir dir 0o755
+              with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          (* First creation: make the new entry durable, or a crash can
+             forget the directory along with everything inside it. *)
+          fsync_dir (Filename.dirname dir)
+        with Unix.Unix_error (e, _, _) ->
+          raise
+            (Io_error
+               (Printf.sprintf "cannot create directory %s: %s" dir
+                  (Unix.error_message e))))
+    | exception Unix.Unix_error (e, _, _) ->
+        raise
+          (Io_error
+             (Printf.sprintf "cannot access %s: %s" dir (Unix.error_message e)))
+
+let remove path =
+  try
+    retrying (fun () ->
+        ignore (consult (Iohook.Remove { path }));
+        Sys.remove path)
+  with
+  | Sys_error msg ->
+      raise (Io_error (Printf.sprintf "cannot remove %s: %s" path msg))
+  | Unix.Unix_error (e, _, _) ->
+      raise
+        (Io_error
+           (Printf.sprintf "cannot remove %s: %s" path (Unix.error_message e)))
+
+let sweep_tmp ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun n entry ->
+          if is_tmp_name entry then begin
+            remove (Filename.concat dir entry);
+            n + 1
+          end
+          else n)
+        0 entries
 
 let read_lines path =
   try
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let rec loop acc =
-          match input_line ic with
-          | line -> loop (line :: acc)
-          | exception End_of_file -> List.rev acc
-        in
-        loop [])
-  with Sys_error msg ->
-    raise (Io_error (Printf.sprintf "cannot read %s: %s" path msg))
+    retrying (fun () ->
+        ignore (consult (Iohook.Read { path }));
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec loop acc =
+              match input_line ic with
+              | line -> loop (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            loop []))
+  with
+  | Sys_error msg ->
+      raise (Io_error (Printf.sprintf "cannot read %s: %s" path msg))
+  | Unix.Unix_error (e, _, _) ->
+      raise
+        (Io_error
+           (Printf.sprintf "cannot read %s: %s" path (Unix.error_message e)))

@@ -19,12 +19,14 @@ let test_bad_fixture () =
   in
   let codes = List.map (fun f -> f.Lint.code) findings in
   Alcotest.(check (list string))
-    "three mutable-state findings then one open_out"
+    "mutable state, then each raw durable-I/O primitive"
     [
       "toplevel-mutable-state";
       "toplevel-mutable-state";
       "toplevel-mutable-state";
       "raw-open-out";
+      "raw-openfile";
+      "raw-rename";
     ]
     codes;
   List.iter
@@ -57,8 +59,10 @@ let test_default_checks () =
     (has Lint.Mutable_state "lib/par/pool.ml");
   Alcotest.(check bool) "kernel does not" false
     (has Lint.Mutable_state "lib/kernel/instance.ml");
-  Alcotest.(check bool) "everything gets the open_out check" true
+  Alcotest.(check bool) "everything gets the raw-I/O check" true
     (has Lint.Raw_open_out "lib/kernel/instance.ml");
+  Alcotest.(check bool) "dur gets the raw-I/O check" true
+    (has Lint.Raw_open_out "lib/dur/crashsim.ml");
   Alcotest.(check bool) "except fileio itself" false
     (has Lint.Raw_open_out "lib/util/fileio.ml")
 
