@@ -85,24 +85,69 @@ let experiments =
 (* Runs the dose sweep once per jobs setting, measures cells/sec on the
    monotonic clock, stable-hashes the rendered output to prove every
    worker count produced the identical result, and writes the lot to
-   BENCH_kpar.json.  The speedup numbers are whatever this machine
-   gives (a single-core CI runner reports ~1.0x); the hash equality is
-   the hard claim. *)
+   BENCH_kpar.json.  Wall-clock speedup is capped by the host's cores
+   — min(jobs, cores) is the most any schedule can deliver — so the
+   gate adapts: on a host with >= 4 cores, [--gate-speedup X] enforces
+   the full X floor at jobs=4; on smaller hosts it enforces the
+   anti-scaling floor instead.  The floor leaves ~25% headroom for
+   scheduler noise on an oversubscribed 1-core box (observed runs swing
+   0.83-1.03x there) while still sitting far above the 0.31-0.49x
+   signature of the GC-rendezvous bug it guards against.  The hash
+   equality is the unconditional hard claim either way. *)
+let anti_scaling_floor = 0.75
+
+(* The gate branches on the host's core count, which makes the
+   full-floor branch untestable on small machines; KSURF_BENCH_ASSUME_CORES
+   pretends the host has N cores so both branches (and the fail path)
+   can be driven anywhere.  Test hook only — it changes which floor is
+   enforced, never the measured numbers. *)
+let assumed_cores () =
+  match Sys.getenv_opt "KSURF_BENCH_ASSUME_CORES" with
+  | Some s when (match int_of_string_opt (String.trim s) with
+                | Some n -> n > 0
+                | None -> false) ->
+      int_of_string (String.trim s)
+  | Some _ | None -> Domain.recommended_domain_count ()
+
 let run_sweep ~seed ~scale ~gate_speedup =
+  let cores = assumed_cores () in
   let corpus = E.default_corpus ~seed scale in
   let job_counts = [ 1; 2; 4; 8 ] in
+  (* Best of two timed runs per job count.  Host interference (another
+     process stealing the core mid-run) only ever slows a run down, so
+     min-time is the low-noise estimator — a single-run sweep on a busy
+     box swings ±20% and flakes the gate.  Both runs must hash
+     identically; the determinism check below then compares across job
+     counts as before. *)
+  let reps = 2 in
   let rows =
     List.map
       (fun jobs ->
         Ksurf.Pool.with_pool ~jobs (fun pool ->
-            let t0 = Ksurf.Clock.now_s () in
-            let t = E.Dose.run ~seed ~scale ~corpus ~pool () in
-            let seconds = Ksurf.Clock.elapsed_s ~since:t0 in
-            let cells = List.length t.E.Dose.cells in
-            let hash =
-              Ksurf.Stable_hash.string (Format.asprintf "%a" E.Dose.pp t)
+            let timed_run () =
+              let t0 = Ksurf.Clock.now_s () in
+              let t = E.Dose.run ~seed ~scale ~corpus ~pool () in
+              let seconds = Ksurf.Clock.elapsed_s ~since:t0 in
+              let cells = List.length t.E.Dose.cells in
+              let hash =
+                Ksurf.Stable_hash.string (Format.asprintf "%a" E.Dose.pp t)
+              in
+              (jobs, cells, seconds, hash)
             in
-            (jobs, cells, seconds, hash)))
+            let runs = List.init reps (fun _ -> timed_run ()) in
+            let (_, _, _, h0) = List.hd runs in
+            List.iter
+              (fun (_, _, _, h) ->
+                if h <> h0 then begin
+                  Format.printf
+                    "  jobs=%d: repeat run DIVERGED from its first run@." jobs;
+                  exit 1
+                end)
+              runs;
+            List.fold_left
+              (fun ((_, _, best_s, _) as best) ((_, _, s, _) as r) ->
+                if s < best_s then r else best)
+              (List.hd runs) (List.tl runs)))
       job_counts
   in
   let hash0 = match rows with (_, _, _, h) :: _ -> h | [] -> 0 in
@@ -125,6 +170,9 @@ let run_sweep ~seed ~scale ~gate_speedup =
     rows;
   Format.printf "  outputs across job counts: %s@."
     (if deterministic then "bit-identical" else "DIVERGENT");
+  Format.printf
+    "  host cores: %d (wall-clock speedup at jobs=N is capped at min(N, %d))@."
+    cores cores;
   (* Per-jobs speedup ratios, pulled out as named top-level JSON fields
      so dashboards and the gate below read them without re-deriving
      anything from the row list. *)
@@ -153,6 +201,8 @@ let run_sweep ~seed ~scale ~gate_speedup =
       \  \"benchmark\": \"kpar-dose-sweep\",\n\
       \  \"seed\": %d,\n\
       \  \"scale\": %S,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"speedup_attainable_jobs4\": %.1f,\n\
       \  \"deterministic_across_jobs\": %b,\n\
       \  \"speedup_jobs2\": %.3f,\n\
       \  \"speedup_jobs4\": %.3f,\n\
@@ -161,6 +211,8 @@ let run_sweep ~seed ~scale ~gate_speedup =
        }\n"
       seed
       (match scale with E.Quick -> "quick" | E.Full -> "full")
+      cores
+      (float_of_int (min 4 cores))
       deterministic (speedup_of 2) (speedup_of 4) (speedup_of 8)
       (String.concat ",\n" (List.map row_json rows))
   in
@@ -168,18 +220,32 @@ let run_sweep ~seed ~scale ~gate_speedup =
       output_string oc json);
   Format.printf "  wrote BENCH_kpar.json@.";
   if not deterministic then exit 1;
-  (* Opt-in scaling gate: require the jobs=4 speedup to clear a floor.
-     Off by default so single-core CI runners (speedup ~1.0x) stay
-     green; a perf-tracking job can pass e.g. --gate-speedup 2.0. *)
+  (* Scaling gate: require the jobs=4 speedup to clear a floor.  The
+     requested floor applies verbatim where the hardware can deliver it
+     (>= 4 cores); hosts with fewer cores are still gated — on the
+     anti-scaling floor, because a correct pool may cost a little
+     coordination but must never serialise the way the GC-rendezvous
+     bug did (0.31–0.49x before the fix). *)
   match gate_speedup with
   | None -> ()
   | Some floor ->
       let s4 = speedup_of 4 in
-      if s4 < floor then begin
-        Format.printf "  speedup gate FAILED: jobs=4 %.2fx < %.2fx@." s4 floor;
+      let applied, why =
+        if cores >= 4 then (floor, Printf.sprintf "wall-clock floor %.2fx" floor)
+        else
+          ( anti_scaling_floor,
+            Printf.sprintf
+              "anti-scaling floor %.2fx (host has %d core%s: %.2fx is \
+               unattainable wall-clock; the full floor applies on >= 4 cores)"
+              anti_scaling_floor cores
+              (if cores = 1 then "" else "s")
+              floor )
+      in
+      if s4 < applied then begin
+        Format.printf "  speedup gate FAILED: jobs=4 %.2fx < %s@." s4 why;
         exit 1
       end
-      else Format.printf "  speedup gate passed: jobs=4 %.2fx >= %.2fx@." s4 floor
+      else Format.printf "  speedup gate passed: jobs=4 %.2fx >= %s@." s4 why
 
 (* ------------------------------------------------------------------ *)
 (* ktenant memory-flatness bench: the same churny fleet at 10^5 and    *)
@@ -321,7 +387,7 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let h = Ksurf_sim.Heap.create () in
            for i = 0 to 63 do
-             Ksurf_sim.Heap.push h ~time:(float_of_int (i * 37 mod 64)) ~seq:i i
+             Ksurf_sim.Heap.push h ~time:(float_of_int (i * 37 mod 64)) ~seq:i ~pid:0 i
            done;
            while not (Ksurf_sim.Heap.is_empty h) do
              ignore (Ksurf_sim.Heap.pop h)
@@ -400,27 +466,52 @@ let micro_tests () =
    with [Gc.minor_words] read on either side.  Events/sec is
    machine-dependent context; allocations/event is the portable number —
    it moves when someone adds a box to the hot path, whatever the
-   machine. *)
-let run_engine_bench () =
-  let procs = 16 and steps = 2000 in
-  let events = ref 0 in
+   machine.
+
+   The multi-domain section replays the same workload, unobserved, on
+   1/2/4/8 concurrent domains (one independent engine per domain — the
+   kpar sweep shape), under the same per-domain minor-heap sizing
+   Pool.create applies.  It is weak scaling: each domain runs the
+   identical workload, so aggregate events/sec should grow toward
+   min(domains, cores)x and — the regression this section exists to
+   catch — must never *fall* as domains are added, which is what the
+   stop-the-world minor-GC rendezvous did before ISSUE 10 (per-domain
+   allocation makes each domain's arena fill independently, and every
+   fill stops all domains). *)
+let bench_procs = 16
+let bench_steps = 2000
+
+(* One engine's worth of work, run on the calling domain.  [probe]
+   attaches the counting probe (the historical headline number counts
+   probe events); the multi-domain rows run unobserved — the sweep hot
+   path — and count executed events instead.  [Gc.minor_words] is
+   per-domain in OCaml 5, so the caller reads the delta on its own
+   domain. *)
+let engine_workload ~probe () =
+  let probe_events = ref 0 in
   let engine = Ksurf.Engine.create ~seed:7 () in
-  Ksurf.Engine.add_probe engine (fun _ -> incr events);
+  if probe then Ksurf.Engine.add_probe engine (fun _ -> incr probe_events);
   let lock = Ksurf.Lock.create ~engine ~name:"bench.engine" in
-  for _ = 1 to procs do
+  for _ = 1 to bench_procs do
     Ksurf.Engine.spawn engine (fun () ->
-        for i = 1 to steps do
+        for i = 1 to bench_steps do
           if i mod 8 = 0 then Ksurf.Lock.with_hold lock 5.0
           else Ksurf.Engine.delay 10.0
         done)
   done;
-  Gc.compact ();
   let w0 = Gc.minor_words () in
-  let t0 = Ksurf.Clock.now_s () in
   Ksurf.Engine.run engine;
-  let seconds = Ksurf.Clock.elapsed_s ~since:t0 in
   let minor_words = Gc.minor_words () -. w0 in
-  let n = !events in
+  let events =
+    if probe then !probe_events else Ksurf.Engine.events_executed engine
+  in
+  (events, minor_words)
+
+let run_engine_bench () =
+  Gc.compact ();
+  let t0 = Ksurf.Clock.now_s () in
+  let n, minor_words = engine_workload ~probe:true () in
+  let seconds = Ksurf.Clock.elapsed_s ~since:t0 in
   let events_per_sec =
     if seconds > 0.0 then float_of_int n /. seconds else 0.0
   in
@@ -430,20 +521,76 @@ let run_engine_bench () =
   Format.printf
     "@.Engine throughput (%d procs x %d steps):@.  %d events in %.3fs \
      (%.0f events/s), %.1f minor words/event@."
-    procs steps n seconds events_per_sec words_per_event;
+    bench_procs bench_steps n seconds events_per_sec words_per_event;
+  (* Multi-domain rows: one independent engine per domain, unobserved,
+     under the pool's GC regime. *)
+  Ksurf.Pool.tune_minor_heap ();
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  (* Several engine-runs per domain: one run is ~10ms, and Domain.spawn
+     is a stop-the-world event of its own — without the repetition the
+     rows would measure spawn latency, not engine throughput. *)
+  let iters = 12 in
+  let repeated () =
+    let events = ref 0 and words = ref 0.0 in
+    for _ = 1 to iters do
+      let e, w = engine_workload ~probe:false () in
+      events := !events + e;
+      words := !words +. w
+    done;
+    (!events, !words)
+  in
+  Format.printf "Multi-domain engine throughput (weak scaling, unobserved):@.";
+  let md_rows =
+    List.map
+      (fun domains ->
+        Gc.compact ();
+        let t0 = Ksurf.Clock.now_s () in
+        let others =
+          List.init (domains - 1) (fun _ ->
+              Domain.spawn (fun () ->
+                  Ksurf.Pool.tune_minor_heap ();
+                  repeated ()))
+        in
+        let first = repeated () in
+        let results = first :: List.map Domain.join others in
+        let seconds = Ksurf.Clock.elapsed_s ~since:t0 in
+        let events = List.fold_left (fun a (e, _) -> a + e) 0 results in
+        let words = List.fold_left (fun a (_, w) -> a +. w) 0.0 results in
+        let eps =
+          if seconds > 0.0 then float_of_int events /. seconds else 0.0
+        in
+        let wpe = if events > 0 then words /. float_of_int events else 0.0 in
+        Format.printf
+          "  domains=%d  %8d events in %.3fs  (%.0f events/s aggregate, %.1f \
+           minor words/event)@."
+          domains events seconds eps wpe;
+        (domains, events, seconds, eps, wpe))
+      domain_counts
+  in
   let json =
+    let md_json (domains, events, seconds, eps, wpe) =
+      Printf.sprintf
+        "    { \"domains\": %d, \"events\": %d, \"seconds\": %.6f, \
+         \"events_per_sec\": %.1f, \"minor_words_per_event\": %.3f }"
+        domains events seconds eps wpe
+    in
     Printf.sprintf
       "{\n\
       \  \"benchmark\": \"engine-core\",\n\
       \  \"procs\": %d,\n\
       \  \"steps_per_proc\": %d,\n\
+      \  \"host_cores\": %d,\n\
       \  \"events\": %d,\n\
       \  \"seconds\": %.6f,\n\
       \  \"events_per_sec\": %.1f,\n\
       \  \"minor_words\": %.0f,\n\
-      \  \"minor_words_per_event\": %.3f\n\
+      \  \"minor_words_per_event\": %.3f,\n\
+      \  \"multi_domain\": [\n%s\n  ]\n\
        }\n"
-      procs steps n seconds events_per_sec minor_words words_per_event
+      bench_procs bench_steps
+      (Domain.recommended_domain_count ())
+      n seconds events_per_sec minor_words words_per_event
+      (String.concat ",\n" (List.map md_json md_rows))
   in
   Ksurf.Fileio.write_atomic ~path:"BENCH_engine.json" (fun oc ->
       output_string oc json);

@@ -43,14 +43,18 @@ let timed name f =
 let jobs_arg =
   let doc =
     "Worker domains for sweep cells.  Results merge in canonical order, \
-     so any $(docv) produces bit-identical output; defaults to the \
-     machine's recommended domain count minus one."
+     so any $(docv) produces bit-identical output; falls back to \
+     $(b,KSURF_JOBS), then to the machine's recommended domain count \
+     minus one."
   in
-  let env = Cmd.Env.info "KSURF_JOBS" ~doc in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
+  (* No cmdliner ~env here on purpose: cmdliner would refuse a
+     malformed KSURF_JOBS with a hard CLI error, whereas the shared
+     precedence rule (Pool.resolve_jobs) warns on stderr and degrades
+     to the machine default — same behaviour as bench/main.exe. *)
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-(* Cmdliner hands us the flag when given, else the parsed KSURF_JOBS
-   value; Pool.resolve_jobs owns the precedence rule either way. *)
+(* Pool.resolve_jobs owns the precedence rule: the flag when given,
+   else KSURF_JOBS, else the machine default. *)
 let with_pool jobs f =
   Ksurf.Pool.with_pool ~jobs:(Ksurf.Pool.resolve_jobs ?cli:jobs ()) f
 

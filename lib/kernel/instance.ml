@@ -58,8 +58,13 @@ type t = {
   mutable halted : bool;
   (* Specialization state, written by kspec (lib/spec): per-tenant
      syscall policies on a shared instance (seccomp-style filters
-     installed per process).  Consulted by Env on every syscall. *)
-  policies : (int, syscall_policy) Hashtbl.t;
+     installed per process).  Consulted by Env on every syscall —
+     tenant-id-indexed array, not a hashtable, so the per-call lookup
+     neither hashes nor allocates (the stored option is returned as
+     is).  Installs are rare; the array grows to the largest tenant id
+     seen. *)
+  mutable policies : syscall_policy option array;
+  mutable policy_count : int;
 }
 
 and policy_mode = Audit | Enforce
@@ -136,7 +141,8 @@ let boot ~engine ~config ~id ~cores ~mem_mb ?block_dev () =
     burn_mult = 1.0;
     daemon_hold_mult = None;
     halted = false;
-    policies = Hashtbl.create 8;
+    policies = [||];
+    policy_count = 0;
   }
 
 let engine t = t.engine
@@ -185,15 +191,34 @@ let set_cache_pressure t p =
 (* --- specialization controls (kspec) --------------------------------- *)
 
 let set_syscall_policy t ~tenant policy =
-  match policy with
-  | None -> Hashtbl.remove t.policies tenant
+  if tenant < 0 then invalid_arg "Instance.set_syscall_policy: negative tenant";
+  (match policy with
+  | None -> ()
   | Some p ->
       if not (p.reachable > 0.0 && p.reachable <= 1.0) then
-        invalid_arg "Instance.set_syscall_policy: reachable must be in (0, 1]";
-      Hashtbl.replace t.policies tenant p
+        invalid_arg "Instance.set_syscall_policy: reachable must be in (0, 1]");
+  if tenant >= Array.length t.policies then begin
+    match policy with
+    | None -> ()  (* removing a policy that was never installed *)
+    | Some _ ->
+        let ncap = max 8 (max (2 * Array.length t.policies) (tenant + 1)) in
+        let np = Array.make ncap None in
+        Array.blit t.policies 0 np 0 (Array.length t.policies);
+        t.policies <- np
+  end;
+  if tenant < Array.length t.policies then begin
+    (match (t.policies.(tenant), policy) with
+    | None, Some _ -> t.policy_count <- t.policy_count + 1
+    | Some _, None -> t.policy_count <- t.policy_count - 1
+    | None, None | Some _, Some _ -> ());
+    t.policies.(tenant) <- policy
+  end
 
-let syscall_policy t ~tenant = Hashtbl.find_opt t.policies tenant
-let policy_count t = Hashtbl.length t.policies
+let syscall_policy t ~tenant =
+  if tenant >= 0 && tenant < Array.length t.policies then t.policies.(tenant)
+  else None
+
+let policy_count t = t.policy_count
 
 (* A core driving the kernel flat out executes roughly one op per 12 µs (lock convoys and sleeps included);
    [busy] is the instance's smoothed per-core rate relative to that. *)

@@ -22,7 +22,22 @@ type t
 val default_jobs : unit -> int
 (** [KSURF_JOBS] when set to a positive integer, otherwise
     [max 1 (Domain.recommended_domain_count () - 1)] — one domain is
-    left for the OS and the submitting main loop. *)
+    left for the OS and the submitting main loop.  A malformed
+    [KSURF_JOBS] (zero, negative, or not a number) is diagnosed on
+    stderr and falls back to the machine default; an empty string is
+    treated as unset, silently (putenv cannot remove a variable). *)
+
+val tune_minor_heap : unit -> unit
+(** Grow the calling domain's minor heap to the kpar default (8M words
+    unless [KSURF_MINOR_WORDS] overrides it), unless the user already
+    chose a size via [s=<n>] in [OCAMLRUNPARAM].  Never shrinks.
+
+    OCaml 5 minor collections are a stop-the-world rendezvous of every
+    domain, and the setting does not propagate to spawned domains —
+    {!create} calls this for the submitting domain and each worker
+    calls it for itself.  Exposed so benchmark harnesses measuring raw
+    multi-domain engine throughput (outside any pool) run under the
+    same GC regime as a sweep. *)
 
 val resolve_jobs : ?cli:int -> unit -> int
 (** The worker-count precedence rule shared by [ksurf_cli] and

@@ -1,7 +1,19 @@
+(* A queued event is either a plain thunk (spawns, explicit schedules)
+   or a suspended-process continuation (delay expiries, suspension
+   wakes).  Storing the continuation directly — rather than a
+   [fun () -> continue k ()] wrapper — keeps the delay/wake hot path
+   from allocating a closure per event; together with the
+   parallel-array heap this makes scheduling itself allocation-free.
+   The executing pid travels in the heap's int channel, so there is no
+   per-event record tying (pid, job) together either. *)
+type job =
+  | Thunk of (unit -> unit)
+  | Cont of (unit, unit) Effect.Deep.continuation
+
 type t = {
   mutable now : float;
   mutable seq : int;
-  heap : (unit -> unit) Heap.t;
+  heap : job Heap.t;
   root_rng : Ksurf_util.Prng.t;
   mutable executed : int;
   (* Observer layer: analyzers (lockdep, determinism, invariants)
@@ -115,7 +127,7 @@ let current_pid t = t.cur_pid
 let set_acquire_hook t hook = t.acquire_hook <- hook
 let acquire_hook t = t.acquire_hook
 
-let schedule_pid t ~pid ~at thunk =
+let schedule_job t ~pid ~at job =
   (* Emit before validating so a sanitizer records the violation even
      though the engine still refuses it. *)
   if observed t then emit t (Scheduled { now = t.now; at; pid });
@@ -123,19 +135,23 @@ let schedule_pid t ~pid ~at thunk =
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now %g" at t.now);
   t.seq <- t.seq + 1;
-  let run () =
-    let saved = t.cur_pid in
-    t.cur_pid <- pid;
-    if observed t then emit t (Executed { now = t.now; pid });
-    match thunk () with
-    | () -> t.cur_pid <- saved
-    | exception exn ->
-        t.cur_pid <- saved;
-        raise exn
-  in
-  Heap.push t.heap ~time:at ~seq:t.seq run
+  Heap.push t.heap ~time:at ~seq:t.seq ~pid job
 
-let schedule t ~at thunk = schedule_pid t ~pid:t.cur_pid ~at thunk
+let schedule_pid t ~pid ~at thunk = schedule_job t ~pid ~at (Thunk thunk)
+
+(* Execute one dequeued event under its pid.  The pid save/restore and
+   the [Executed] probe used to live in a per-event wrapper closure;
+   doing them here in the dispatch loop costs the same work without the
+   per-event allocation. *)
+let exec_job t ~pid job =
+  let saved = t.cur_pid in
+  t.cur_pid <- pid;
+  if observed t then emit t (Executed { now = t.now; pid });
+  match (match job with Thunk f -> f () | Cont k -> Effect.Deep.continue k ()) with
+  | () -> t.cur_pid <- saved
+  | exception exn ->
+      t.cur_pid <- saved;
+      raise exn
 
 let handle t f =
   let open Effect.Deep in
@@ -151,7 +167,7 @@ let handle t f =
           | Delay (eng, d) when eng == t ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  schedule t ~at:(t.now +. d) (fun () -> continue k ()))
+                  schedule_job t ~pid:t.cur_pid ~at:(t.now +. d) (Cont k))
           | Suspend (eng, register) when eng == t ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -169,7 +185,7 @@ let handle t f =
                     Hashtbl.remove t.parked token;
                     (* The continuation resumes under the suspended
                        process's pid, not the waker's. *)
-                    schedule_pid t ~pid ~at:t.now (fun () -> continue k ())
+                    schedule_job t ~pid ~at:t.now (Cont k)
                   in
                   register wake)
           | _ -> None);
@@ -236,52 +252,57 @@ let run ?until ?stop ?deadline ?stall_limit t =
   Fun.protect
     ~finally:(fun () -> set_current saved)
     (fun () ->
+      (* The loop reads the heap through the non-allocating accessors
+         ([top_time]/[top_pid]/[top]/[drop]): with [Heap.push] also
+         allocation-free, a probe-less engine executes timer events
+         without a single minor-heap word from the dispatch machinery
+         itself — what keeps multi-domain sweeps from serialising on
+         stop-the-world minor collections (DESIGN §6). *)
       let continue = ref true in
       while !continue do
         if (match stop with Some f -> f () | None -> false) then continue := false
-        else
-          match Heap.peek_time t.heap with
-          | None -> continue := false
-          | Some time when (match until with Some u -> time > u | None -> false)
-            ->
-              continue := false
-          | Some time
-            when (match deadline with Some d -> time > d | None -> false) ->
-              t.now <- (match deadline with Some d -> d | None -> t.now);
-              raise
-                (Hung
-                   (hung_diagnostic t
-                      ~reason:
-                        (Printf.sprintf
-                           "virtual-time deadline %g exceeded by next event at \
-                            %g"
-                           (Option.get deadline) time)))
-          | Some _ -> (
-              match Heap.pop t.heap with
-              | None -> continue := false
-              | Some (time, thunk) ->
-                  t.now <- time;
-                  t.executed <- t.executed + 1;
-                  (match stall_limit with
-                  | None -> ()
-                  | Some limit ->
-                      if time > !stall_at then begin
-                        stall_at := time;
-                        stalled := 0
-                      end
-                      else begin
-                        incr stalled;
-                        if !stalled > limit then
-                          raise
-                            (Hung
-                               (hung_diagnostic t
-                                  ~reason:
-                                    (Printf.sprintf
-                                       "no progress: %d consecutive events at \
-                                        t=%g"
-                                       !stalled time)))
-                      end);
-                  thunk ())
+        else if Heap.is_empty t.heap then continue := false
+        else begin
+          let time = Heap.top_time t.heap in
+          if match until with Some u -> time > u | None -> false then
+            continue := false
+          else if match deadline with Some d -> time > d | None -> false then begin
+            t.now <- (match deadline with Some d -> d | None -> t.now);
+            raise
+              (Hung
+                 (hung_diagnostic t
+                    ~reason:
+                      (Printf.sprintf
+                         "virtual-time deadline %g exceeded by next event at %g"
+                         (Option.get deadline) time)))
+          end
+          else begin
+            let pid = Heap.top_pid t.heap in
+            let job = Heap.top t.heap in
+            Heap.drop t.heap;
+            t.now <- time;
+            t.executed <- t.executed + 1;
+            (match stall_limit with
+            | None -> ()
+            | Some limit ->
+                if time > !stall_at then begin
+                  stall_at := time;
+                  stalled := 0
+                end
+                else begin
+                  incr stalled;
+                  if !stalled > limit then
+                    raise
+                      (Hung
+                         (hung_diagnostic t
+                            ~reason:
+                              (Printf.sprintf
+                                 "no progress: %d consecutive events at t=%g"
+                                 !stalled time)))
+                end);
+            exec_job t ~pid job
+          end
+        end
       done;
       match until with
       | Some u when u > t.now && Heap.is_empty t.heap -> t.now <- u

@@ -1,67 +1,122 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* Parallel-array layout: one unboxed float array for times, int
+   arrays for sequence numbers and pids, and one payload array — no
+   per-entry record.  A [push]/[drop] pair therefore allocates nothing
+   (the old boxed { time; seq; payload } entry was ~6 words per event,
+   the single largest allocation on the engine hot path), and the
+   accessor API ([top_time]/[top_pid]/[top]/[drop]) lets the engine run
+   loop inspect and consume the minimum without materialising the
+   [Some (time, payload)] tuple that [pop] builds for compatibility. *)
 
-type 'a t = { mutable data : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable times : float array;  (* unboxed float array *)
+  mutable seqs : int array;
+  mutable pids : int array;
+  mutable data : 'a array;
+  mutable len : int;
+}
 
-let create () = { data = [||]; len = 0 }
+let create () =
+  { times = [||]; seqs = [||]; pids = [||]; data = [||]; len = 0 }
+
 let size t = t.len
 let is_empty t = t.len = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* (time, seq) lexicographic: same-time events fire in insertion
+   order, which keeps whole-simulation execution deterministic. *)
+let before t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
-let grow t entry =
-  let cap = Array.length t.data in
+let swap t i j =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let p = t.pids.(i) in
+  t.pids.(i) <- t.pids.(j);
+  t.pids.(j) <- p;
+  let d = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- d
+
+let grow t payload =
+  let cap = Array.length t.times in
   if t.len = cap then begin
     let ncap = if cap = 0 then 64 else cap * 2 in
-    let ndata = Array.make ncap entry in
+    let ntimes = Array.make ncap 0.0 in
+    Array.blit t.times 0 ntimes 0 t.len;
+    t.times <- ntimes;
+    let nseqs = Array.make ncap 0 in
+    Array.blit t.seqs 0 nseqs 0 t.len;
+    t.seqs <- nseqs;
+    let npids = Array.make ncap 0 in
+    Array.blit t.pids 0 npids 0 t.len;
+    t.pids <- npids;
+    (* The payload being pushed doubles as the filler for fresh slots;
+       the heap never reads a slot beyond [len]. *)
+    let ndata = Array.make ncap payload in
     Array.blit t.data 0 ndata 0 t.len;
     t.data <- ndata
   end
 
-let push t ~time ~seq payload =
-  let entry = { time; seq; payload } in
-  grow t entry;
-  t.data.(t.len) <- entry;
+let push t ~time ~seq ~pid payload =
+  grow t payload;
+  let i = ref t.len in
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.pids.(!i) <- pid;
+  t.data.(!i) <- payload;
   t.len <- t.len + 1;
   (* Sift up. *)
-  let i = ref (t.len - 1) in
   while
     !i > 0
     &&
     let parent = (!i - 1) / 2 in
-    before t.data.(!i) t.data.(parent)
+    before t !i parent
   do
     let parent = (!i - 1) / 2 in
-    let tmp = t.data.(!i) in
-    t.data.(!i) <- t.data.(parent);
-    t.data.(parent) <- tmp;
+    swap t !i parent;
     i := parent
   done
+
+let top_time t = t.times.(0)
+let top_pid t = t.pids.(0)
+let top t = t.data.(0)
+
+let drop t =
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.times.(0) <- t.times.(t.len);
+    t.seqs.(0) <- t.seqs.(t.len);
+    t.pids.(0) <- t.pids.(t.len);
+    t.data.(0) <- t.data.(t.len);
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && before t l !smallest then smallest := l;
+      if r < t.len && before t r !smallest then smallest := r;
+      if !smallest <> !i then begin
+        swap t !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  (* Release the payload reference so popped events do not linger past
+     their execution (the engine holds the returned payload itself). *)
+  if t.len < Array.length t.data then t.data.(t.len) <- t.data.(0)
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.data.(!i) in
-          t.data.(!i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
+    let time = top_time t and payload = top t in
+    drop t;
+    Some (time, payload)
   end
 
-let peek_time t = if t.len = 0 then None else Some t.data.(0).time
+let peek_time t = if t.len = 0 then None else Some t.times.(0)

@@ -2,7 +2,14 @@
 
     Ordering is (time, sequence number): two events at the same virtual
     time fire in insertion order, which makes whole-simulation execution
-    deterministic (DESIGN.md §6). *)
+    deterministic (DESIGN.md §6).
+
+    The layout is allocation-free on the hot path: times, sequence
+    numbers, pids and payloads live in parallel arrays (the float array
+    is unboxed), so a [push]/[drop] pair allocates nothing.  The engine
+    consumes events through the [top_*]/[drop] accessors; [pop] and
+    [peek_time] remain as boxing conveniences for tests and
+    microbenchmarks. *)
 
 type 'a t
 
@@ -10,9 +17,27 @@ val create : unit -> 'a t
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 
-val push : 'a t -> time:float -> seq:int -> 'a -> unit
+val push : 'a t -> time:float -> seq:int -> pid:int -> 'a -> unit
+(** [pid] rides alongside the payload so the engine can attribute the
+    event to a logical process without wrapping the payload in a
+    closure; callers that don't track processes pass [~pid:0]. *)
+
+val top_time : 'a t -> float
+(** Time of the earliest event.  Undefined on an empty heap — check
+    {!is_empty} first. *)
+
+val top_pid : 'a t -> int
+(** Pid of the earliest event.  Undefined on an empty heap. *)
+
+val top : 'a t -> 'a
+(** Payload of the earliest event, without removing it.  Undefined on
+    an empty heap. *)
+
+val drop : 'a t -> unit
+(** Remove the earliest event.  Must not be called on an empty heap. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest event. *)
+(** Remove and return the earliest event.  Allocates; the engine uses
+    {!top_time}/{!top_pid}/{!top}/{!drop} instead. *)
 
 val peek_time : 'a t -> float option

@@ -9,16 +9,16 @@ let test_empty () =
 
 let test_ordering () =
   let h = Heap.create () in
-  Heap.push h ~time:3.0 ~seq:0 "c";
-  Heap.push h ~time:1.0 ~seq:1 "a";
-  Heap.push h ~time:2.0 ~seq:2 "b";
+  Heap.push h ~time:3.0 ~seq:0 ~pid:0 "c";
+  Heap.push h ~time:1.0 ~seq:1 ~pid:0 "a";
+  Heap.push h ~time:2.0 ~seq:2 ~pid:0 "b";
   let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
   Alcotest.(check (list string)) "sorted by time" [ "a"; "b"; "c" ] order
 
 let test_fifo_tie_break () =
   let h = Heap.create () in
   for i = 0 to 9 do
-    Heap.push h ~time:5.0 ~seq:i i
+    Heap.push h ~time:5.0 ~seq:i ~pid:0 i
   done;
   let order = List.init 10 (fun _ -> snd (Option.get (Heap.pop h))) in
   Alcotest.(check (list int)) "ties in insertion order"
@@ -26,15 +26,15 @@ let test_fifo_tie_break () =
 
 let test_peek () =
   let h = Heap.create () in
-  Heap.push h ~time:7.0 ~seq:0 ();
-  Heap.push h ~time:2.0 ~seq:1 ();
+  Heap.push h ~time:7.0 ~seq:0 ~pid:0 ();
+  Heap.push h ~time:2.0 ~seq:1 ~pid:0 ();
   Alcotest.(check (option (float 1e-9))) "peek min" (Some 2.0) (Heap.peek_time h);
   Alcotest.(check int) "size unchanged by peek" 2 (Heap.size h)
 
 let test_growth () =
   let h = Heap.create () in
   for i = 0 to 999 do
-    Heap.push h ~time:(float_of_int (999 - i)) ~seq:i i
+    Heap.push h ~time:(float_of_int (999 - i)) ~seq:i ~pid:0 i
   done;
   Alcotest.(check int) "size" 1000 (Heap.size h);
   let first = Option.get (Heap.pop h) in
@@ -45,7 +45,7 @@ let qcheck_pop_sorted =
     QCheck.(list (float_bound_exclusive 1e6))
     (fun times ->
       let h = Heap.create () in
-      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i i) times;
+      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i ~pid:0 i) times;
       let rec drain prev =
         match Heap.pop h with
         | None -> true
@@ -58,7 +58,7 @@ let qcheck_size_tracks =
     QCheck.(list (float_bound_exclusive 100.0))
     (fun times ->
       let h = Heap.create () in
-      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i ()) times;
+      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i ~pid:0 ()) times;
       let n = List.length times in
       let ok = ref (Heap.size h = n) in
       for expected = n - 1 downto 0 do

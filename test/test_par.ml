@@ -95,6 +95,79 @@ let test_shutdown () =
        false
      with Invalid_argument _ -> true)
 
+(* --- Chunked claiming ----------------------------------------------- *)
+
+(* A cell whose cost is wildly index-dependent: cell 0 does ~300x the
+   work of the median cell, and cost is otherwise sawtoothed.  With
+   chunked claiming this is the adversarial shape — a chunk containing
+   cell 0 finishes long after every other chunk — so identical output
+   at jobs=1 and jobs=8 pins that chunking changed the schedule only,
+   never the merge order or the per-cell values. *)
+let skewed_cell i =
+  let rounds = if i = 0 then 300_000 else 1 + (i * 97 mod 1_000) in
+  let h = ref i in
+  for _ = 1 to rounds do
+    h := Stable_hash.combine !h (!h lxor i)
+  done;
+  (i, !h)
+
+let test_skewed_runtime_identity () =
+  let cells = List.init 64 Fun.id in
+  let seq = Pool.with_pool ~jobs:1 (fun pool -> Pool.map ~pool skewed_cell cells) in
+  let par = Pool.with_pool ~jobs:8 (fun pool -> Pool.map ~pool skewed_cell cells) in
+  Alcotest.(check (list (pair int int))) "jobs 1 = jobs 8" seq par
+
+(* Many small batches in quick succession: every submit wakes at most
+   (chunks - 1) workers instead of broadcasting, so this pins the
+   no-lost-wakeup invariant — a lost wakeup would leave a batch
+   unclaimed and hang the suite, and a miscounted [left] would hang the
+   submitter's completion wait. *)
+let test_many_small_batches () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      for round = 0 to 299 do
+        let n = 1 + (round mod 5) in
+        let expect = List.init n (fun i -> (round * 7) + i + 1) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          expect
+          (Pool.map ~pool succ (List.init n (fun i -> (round * 7) + i)))
+      done)
+
+(* Mapping while another domain shuts the pool down must be
+   deterministic per call: each map either completes with full, correct
+   results (its batch was accepted before the state flipped; the
+   submitter drains it itself even with every worker gone) or raises
+   Invalid_argument — never a hang, never partial output.  The state
+   check runs under [pool.lock], so the flip cannot slip between check
+   and enqueue. *)
+let test_map_racing_shutdown () =
+  let pool = Pool.create ~jobs:4 () in
+  let closer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.02;
+        Pool.shutdown pool)
+  in
+  let refused = ref false in
+  (try
+     while not !refused do
+       match Pool.map ~pool succ [ 1; 2; 3; 4; 5; 6 ] with
+       | r -> Alcotest.(check (list int)) "complete result" [ 2; 3; 4; 5; 6; 7 ] r
+       | exception Invalid_argument _ -> refused := true
+     done
+   with e ->
+     Domain.join closer;
+     raise e);
+  Domain.join closer;
+  Alcotest.(check bool) "eventually refused" true !refused;
+  (* And every map after the shutdown fails the same way. *)
+  for _ = 1 to 3 do
+    Alcotest.(check bool) "still refused" true
+      (try
+         ignore (Pool.map ~pool succ [ 1 ]);
+         false
+       with Invalid_argument _ -> true)
+  done
+
 (* --- Determinism under parallelism --------------------------------- *)
 
 let dose_seq = lazy (E.Dose.run ~seed:11 ~scale:E.Quick ())
@@ -283,6 +356,10 @@ let suite =
     Alcotest.test_case "nested map" `Quick test_nested_map_no_deadlock;
     Alcotest.test_case "default jobs env" `Quick test_default_jobs_env;
     Alcotest.test_case "shutdown" `Quick test_shutdown;
+    Alcotest.test_case "skewed runtimes jobs 1 = jobs 8" `Quick
+      test_skewed_runtime_identity;
+    Alcotest.test_case "many small batches" `Quick test_many_small_batches;
+    Alcotest.test_case "map racing shutdown" `Quick test_map_racing_shutdown;
     Alcotest.test_case "dose jobs 1 = jobs 4" `Slow test_dose_deterministic;
     Alcotest.test_case "specialize jobs 1 = jobs 4" `Slow
       test_specialize_deterministic;
